@@ -1,0 +1,174 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they isolate the contribution of individual
+design decisions inside the state-slice chain:
+
+* **Selection push-down into the chain** (Section 6) — run the same chain
+  with and without the σ' filters on the chain queues.
+* **System overhead sensitivity of CPU-Opt** — how the number of slices the
+  CPU-Opt optimizer keeps varies with the per-operator overhead Csys, the
+  knob that drives the merge/no-merge trade-off of Section 5.2.
+* **Probing algorithm** — nested-loop probing (the paper's cost model)
+  versus hash probing inside the shared pull-up join.
+"""
+
+from __future__ import annotations
+
+from repro.core.cpu_opt import build_cpu_opt_chain
+from repro.core.mem_opt import build_mem_opt_chain
+from repro.core.merge_graph import ChainCostParameters
+from repro.core.plan_builder import build_state_slice_plan
+from repro.engine.executor import execute_plan
+from repro.experiments.report import format_table
+from repro.operators.join import SlidingWindowJoin
+from repro.query.predicates import EquiJoinCondition
+from repro.query.query import QueryWorkload, ContinuousQuery
+from repro.query.predicates import selectivity_filter, selectivity_join
+from repro.query.workload import build_workload, multi_query_workload
+from repro.streams.generators import generate_join_workload
+
+DATA = generate_join_workload(rate_a=50, rate_b=50, duration=8.0, seed=77)
+
+FILTERED_WORKLOAD = build_workload(
+    [0.5, 1.0, 2.0], join_selectivity=0.1, filter_selectivities=[1.0, 0.3, 0.3]
+)
+
+
+def test_ablation_selection_pushdown(benchmark, write_result):
+    """Pushing σ into the chain must cut both state memory and CPU."""
+
+    def run():
+        with_pushdown = execute_plan(
+            build_state_slice_plan(FILTERED_WORKLOAD, push_selections=True),
+            DATA.tuples,
+            strategy="push-down",
+            system_overhead=0.25,
+            retain_results=False,
+            memory_sample_interval=8,
+        )
+        without_pushdown = execute_plan(
+            build_state_slice_plan(FILTERED_WORKLOAD, push_selections=False),
+            DATA.tuples,
+            strategy="no-push-down",
+            system_overhead=0.25,
+            retain_results=False,
+            memory_sample_interval=8,
+        )
+        return with_pushdown, without_pushdown
+
+    with_pushdown, without_pushdown = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            report.strategy,
+            f"{report.steady_state_memory:.1f}",
+            f"{report.cpu_cost:.0f}",
+            report.metrics.total_emitted,
+        ]
+        for report in (with_pushdown, without_pushdown)
+    ]
+    write_result(
+        "ablation_selection_pushdown",
+        format_table(["chain variant", "state (tuples)", "CPU (cmp)", "outputs"], rows),
+    )
+    assert with_pushdown.metrics.total_emitted == without_pushdown.metrics.total_emitted
+    assert with_pushdown.steady_state_memory < without_pushdown.steady_state_memory
+    assert with_pushdown.cpu_cost < without_pushdown.cpu_cost
+
+
+def test_ablation_cpu_opt_overhead_sensitivity(benchmark, write_result):
+    """Higher per-operator overhead makes CPU-Opt merge more aggressively."""
+    workload = multi_query_workload("small-large", query_count=12)
+
+    def run():
+        shapes = {}
+        for overhead in (0.0, 0.5, 2.0, 8.0, 32.0):
+            params = ChainCostParameters(
+                arrival_rate_left=40, arrival_rate_right=40, system_overhead=overhead
+            )
+            shapes[overhead] = len(build_cpu_opt_chain(workload, params))
+        return shapes
+
+    shapes = benchmark(run)
+    rows = [[f"{overhead:g}", slices] for overhead, slices in sorted(shapes.items())]
+    write_result(
+        "ablation_cpu_opt_overhead",
+        format_table(["Csys (per-tuple overhead)", "CPU-Opt slices"], rows)
+        + f"\nMem-Opt slices: {len(build_mem_opt_chain(workload))}",
+    )
+    ordered = [shapes[k] for k in sorted(shapes)]
+    assert ordered[0] >= ordered[-1]
+    assert ordered[-1] < len(build_mem_opt_chain(workload))
+
+
+def test_ablation_hash_vs_nested_loop_probing(benchmark, write_result):
+    """Hash probing cuts probe comparisons without changing the answer."""
+    condition = EquiJoinCondition("join_key", "join_key", key_domain=100)
+    workload = QueryWorkload(
+        [
+            ContinuousQuery("Q1", window=0.8, join_condition=condition),
+            ContinuousQuery("Q2", window=1.6, join_condition=condition),
+        ]
+    )
+
+    def run(algorithm):
+        from repro.baselines.pullup import build_pullup_plan
+
+        return execute_plan(
+            build_pullup_plan(workload, algorithm=algorithm),
+            DATA.tuples,
+            strategy=algorithm,
+            retain_results=False,
+            memory_sample_interval=8,
+        )
+
+    def both():
+        return run("nested_loop"), run("hash")
+
+    nested, hashed = benchmark.pedantic(both, rounds=1, iterations=1)
+    rows = [
+        [report.strategy, f"{report.cpu_cost:.0f}", report.metrics.total_emitted]
+        for report in (nested, hashed)
+    ]
+    write_result(
+        "ablation_hash_probing",
+        format_table(["probing", "CPU (cmp)", "outputs"], rows),
+    )
+    assert nested.metrics.total_emitted == hashed.metrics.total_emitted
+    assert hashed.cpu_cost < nested.cpu_cost
+
+
+def test_ablation_sliced_vs_monolithic_state_scan(benchmark, write_result):
+    """Slicing does not add probing work: chain probes == single-join probes."""
+    condition = selectivity_join(0.1)
+    workload = build_workload([0.4, 0.8, 1.2, 1.6, 2.0], join_selectivity=0.1)
+
+    def run():
+        chain_report = execute_plan(
+            build_state_slice_plan(workload),
+            DATA.tuples,
+            strategy="chain",
+            retain_results=False,
+            memory_sample_interval=8,
+        )
+        single = SlidingWindowJoin(2.0, 2.0, condition, name="single")
+        from repro.engine.metrics import MetricsCollector
+
+        metrics = MetricsCollector()
+        single.bind_metrics(metrics)
+        for tup in DATA.tuples:
+            port = "left" if tup.stream == "A" else "right"
+            single.process(tup, port)
+        return chain_report, metrics
+
+    chain_report, single_metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    chain_probe = chain_report.metrics.comparisons["probe"]
+    single_probe = single_metrics.comparisons["probe"]
+    write_result(
+        "ablation_probe_parity",
+        format_table(
+            ["plan", "probe comparisons"],
+            [["5-slice chain", chain_probe], ["single join", single_probe]],
+        ),
+    )
+    # Probing work is identical up to boundary effects (< 1% difference).
+    assert abs(chain_probe - single_probe) <= max(1.0, 0.01 * single_probe)

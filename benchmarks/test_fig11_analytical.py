@@ -1,0 +1,70 @@
+"""Figure 11 — analytical savings surfaces of state-slicing (Equation 4).
+
+Regenerates the three panels of Figure 11 over a (ρ, Sσ) grid and checks the
+paper's qualitative claims: all savings are non-negative, memory savings
+peak near 50%, CPU savings vs pull-up grow with the join selectivity and
+approach 100% at the extremes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.analytical import figure_11a, figure_11b, figure_11c
+from repro.experiments.report import format_table
+
+
+def _surface_summary(points) -> tuple[float, float, float]:
+    values = [p.value_pct for p in points]
+    return min(values), sum(values) / len(values), max(values)
+
+
+def test_fig11a_memory_savings(benchmark, write_result):
+    surfaces = benchmark(figure_11a, 21)
+    rows = []
+    for name, points in surfaces.items():
+        low, mean, high = _surface_summary(points)
+        rows.append([name, f"{low:.1f}", f"{mean:.1f}", f"{high:.1f}"])
+        assert low >= 0.0
+    table = format_table(["surface", "min %", "mean %", "max %"], rows)
+    write_result("fig11a_memory_savings", table)
+    # Memory savings vs pull-up approach ~50% for small ρ and small Sσ.
+    assert max(p.value_pct for p in surfaces["vs_pullup"]) > 40.0
+    # Savings vs push-down peak lower (the paper's surface tops out around 30%).
+    assert max(p.value_pct for p in surfaces["vs_pushdown"]) < 50.0
+
+
+def test_fig11b_cpu_vs_pullup(benchmark, write_result):
+    surfaces = benchmark(figure_11b, 21)
+    rows = []
+    means = {}
+    for s1, points in sorted(surfaces.items()):
+        low, mean, high = _surface_summary(points)
+        means[s1] = mean
+        rows.append([f"S1={s1:g}", f"{low:.1f}", f"{mean:.1f}", f"{high:.1f}"])
+        assert low >= 0.0
+    write_result(
+        "fig11b_cpu_savings_vs_pullup",
+        format_table(["surface", "min %", "mean %", "max %"], rows),
+    )
+    # Larger join selectivity -> larger CPU savings (the three stacked
+    # surfaces of the paper's Figure 11(b)).
+    assert means[0.4] > means[0.1] > means[0.025]
+    assert max(p.value_pct for p in surfaces[0.4]) > 70.0
+
+
+def test_fig11c_cpu_vs_pushdown(benchmark, write_result):
+    surfaces = benchmark(figure_11c, 21)
+    rows = []
+    means = {}
+    for s1, points in sorted(surfaces.items()):
+        low, mean, high = _surface_summary(points)
+        means[s1] = mean
+        rows.append([f"S1={s1:g}", f"{low:.1f}", f"{mean:.1f}", f"{high:.1f}"])
+        assert low >= 0.0
+    write_result(
+        "fig11c_cpu_savings_vs_pushdown",
+        format_table(["surface", "min %", "mean %", "max %"], rows),
+    )
+    # The savings vs push-down are smaller (paper: up to ~30%) and again grow
+    # with the join selectivity.
+    assert means[0.4] > means[0.025]
+    assert max(p.value_pct for p in surfaces[0.4]) < 60.0

@@ -1,0 +1,83 @@
+"""Scaling to many queries: Mem-Opt vs CPU-Opt chains.
+
+The paper's Section 7.3 studies what happens when dozens of queries with
+skewed window distributions share one chain: the Mem-Opt chain keeps one
+slice per distinct window (minimal state, many small operators), while the
+CPU-Opt chain merges adjacent slices when the saved per-slice overhead
+outweighs the added routing cost.
+
+This script builds both chains for 12, 24 and 36 queries over the
+"small-large" window distribution of Table 4, shows how many slices each
+chain uses, and measures service rate and state memory for both.
+
+Run with:  python examples/multi_query_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import build_state_slice_plan, execute_plan, generate_join_workload
+from repro.core import ChainCostParameters, build_cpu_opt_chain, build_mem_opt_chain
+from repro.query import multi_query_workload
+
+RATE = 50.0
+TIME_SCALE = 0.05  # scale the Table 4 windows down so the demo runs in seconds
+
+
+def scaled_workload(query_count: int):
+    workload = multi_query_workload("small-large", query_count=query_count,
+                                    join_selectivity=0.025)
+    scaled_windows = [query.window * TIME_SCALE for query in workload]
+    from repro.query import build_workload
+
+    return build_workload(scaled_windows, join_selectivity=0.025)
+
+
+def main() -> None:
+    data = generate_join_workload(rate_a=RATE, rate_b=RATE, duration=8.0, seed=5)
+    print(f"Input: two streams at {RATE:.0f} tuples/s for 8 simulated seconds")
+    print(f"Window distribution: Table 4 'small-large', scaled by {TIME_SCALE}")
+    print()
+    header = (
+        f"{'queries':>8} {'chain':>10} {'slices':>7} {'state (tuples)':>15} "
+        f"{'CPU (cmp)':>12} {'service rate':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for query_count in (12, 24, 36):
+        workload = scaled_workload(query_count)
+        params = ChainCostParameters(
+            arrival_rate_left=RATE, arrival_rate_right=RATE, system_overhead=0.25
+        )
+        chains = {
+            "Mem-Opt": build_mem_opt_chain(workload),
+            "CPU-Opt": build_cpu_opt_chain(workload, params),
+        }
+        for name, chain in chains.items():
+            plan = build_state_slice_plan(workload, chain=chain,
+                                          plan_name=f"{name}-{query_count}")
+            report = execute_plan(
+                plan,
+                data.tuples,
+                strategy=name,
+                system_overhead=0.25,
+                memory_sample_interval=8,
+                retain_results=False,
+            )
+            print(
+                f"{query_count:>8} {name:>10} {len(chain):>7} "
+                f"{report.steady_state_memory:>15.1f} {report.cpu_cost:>12.0f} "
+                f"{report.service_rate:>13.5f}"
+            )
+        print()
+
+    print(
+        "The CPU-Opt chain merges the clustered windows into a handful of slices,\n"
+        "trading a little routing work for far fewer per-slice purge/scheduling\n"
+        "overheads — the effect behind Figure 19 of the paper.  The Mem-Opt chain\n"
+        "remains the most state-frugal option."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Online chain migration: queries joining and leaving a running system.
+
+Section 5.3 of the paper describes how a state-slice chain is maintained at
+runtime by two primitives — splitting a slice and merging two adjacent
+slices — without stopping the stream or losing results.
+
+This script drives a :class:`repro.core.SlicedJoinChain` directly:
+
+* it starts with a single query (one slice, window 4 s);
+* a second query with a 2 s window registers mid-stream, so the slice is
+  split at 2 s;
+* later the second query deregisters, so the two slices are merged back;
+* throughout, the produced join results are checked against an
+  independently computed reference — nothing is lost or duplicated.
+
+Run with:  python examples/online_migration.py
+"""
+
+from __future__ import annotations
+
+from repro import SlicedJoinChain, generate_join_workload
+from repro.query import selectivity_join
+
+
+def reference_pairs(tuples, window, condition):
+    lefts = [t for t in tuples if t.stream == "A"]
+    rights = [t for t in tuples if t.stream == "B"]
+    pairs = set()
+    for a in lefts:
+        for b in rights:
+            if abs(a.timestamp - b.timestamp) < window and condition.matches(a, b):
+                pairs.add((a.seqno, b.seqno))
+    return pairs
+
+
+def main() -> None:
+    condition = selectivity_join(0.2)
+    data = generate_join_workload(rate_a=20, rate_b=20, duration=30.0, seed=3)
+    tuples = data.tuples
+
+    chain = SlicedJoinChain([0.0, 4.0], condition)
+    print(f"Initial chain (one registered query, window 4 s): {chain.describe()}")
+
+    split_at = len(tuples) // 3
+    merge_at = 2 * len(tuples) // 3
+    produced = set()
+    q2_results = 0
+
+    for index, tup in enumerate(tuples):
+        if index == split_at:
+            chain.split_slice(0, 2.0)
+            print(
+                f"t={tup.timestamp:6.2f}s  Q2 (window 2 s) registered  -> split: "
+                f"{chain.describe()}"
+            )
+        if index == merge_at:
+            chain.merge_slices(0)
+            print(
+                f"t={tup.timestamp:6.2f}s  Q2 deregistered             -> merge: "
+                f"{chain.describe()}"
+            )
+        for slice_index, joined in chain.process(tup):
+            produced.add((joined.left.seqno, joined.right.seqno))
+            # While Q2 is registered its answer is the first slice's output.
+            if split_at <= index < merge_at and slice_index == 0:
+                q2_results += 1
+        assert chain.states_are_disjoint()
+
+    expected = reference_pairs(tuples, 4.0, condition)
+    print()
+    print(f"Join results produced by the chain : {len(produced)}")
+    print(f"Reference results for window 4 s   : {len(expected)}")
+    print(f"Identical                          : {produced == expected}")
+    print(f"Results delivered to Q2 while it was registered: {q2_results}")
+    print()
+    print(
+        "Splitting and merging the slices mid-stream changed neither the result\n"
+        "set nor the disjointness of the per-slice states — the property that\n"
+        "makes the paper's online migration safe."
+    )
+
+
+if __name__ == "__main__":
+    main()

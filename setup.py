@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs keep working on environments whose setuptools/pip lack the
+``wheel`` package required for PEP 660 editable wheels (legacy
+``setup.py develop`` is used instead).
+"""
+
+from setuptools import setup
+
+setup()

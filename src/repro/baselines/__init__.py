@@ -1,0 +1,7 @@
+"""Sharing strategies from the literature used as baselines (Section 3)."""
+
+from repro.baselines.pullup import build_pullup_plan
+from repro.baselines.pushdown import build_pushdown_plan
+from repro.baselines.unshared import build_unshared_plan
+
+__all__ = ["build_pullup_plan", "build_pushdown_plan", "build_unshared_plan"]

@@ -1,0 +1,265 @@
+"""Command-line interface for the State-Slice reproduction.
+
+Exposes the most common tasks without writing Python:
+
+.. code-block:: bash
+
+    python -m repro compare  --rate 40 --windows uniform --s1 0.1 --ssigma 0.5
+    python -m repro figure   17 --panels b e --rates 20 40
+    python -m repro figure   11
+    python -m repro table    2
+    python -m repro chains   --queries 12 --windows small-large --rate 60
+    python -m repro cost     --rho 0.25 --ssigma 0.2 --s1 0.1
+
+``compare`` runs every sharing strategy on one configuration; ``figure`` and
+``table`` regenerate the paper's figures/tables; ``chains`` shows the
+Mem-Opt and CPU-Opt chains for a workload; ``cost`` evaluates the analytical
+two-query cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.cost_model import (
+    TwoQuerySettings,
+    selection_pullup_cost,
+    selection_pushdown_cost,
+    state_slice_cost,
+    state_slice_savings,
+)
+from repro.core.cpu_opt import build_cpu_opt_chain
+from repro.core.mem_opt import build_mem_opt_chain
+from repro.core.merge_graph import ChainCostParameters
+from repro.experiments.analytical import figure_11a, figure_11b, figure_11c
+from repro.experiments.chain_study import run_panel as chain_panel
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.cpu_study import run_panel as cpu_panel
+from repro.experiments.harness import compare_strategies, make_workload
+from repro.experiments.memory_study import run_panel as memory_panel
+from repro.experiments.report import (
+    format_chain_points,
+    format_memory_points,
+    format_service_rate_points,
+    format_table,
+    format_trace,
+)
+from repro.experiments.traces import table_2_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'State-Slice' (VLDB 2006): run experiments "
+        "and inspect the shared-plan optimizers from the command line.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser(
+        "compare", help="run every sharing strategy on one configuration"
+    )
+    compare.add_argument("--rate", type=float, default=40.0, help="tuples/s per stream")
+    compare.add_argument("--windows", default="uniform", help="window distribution name")
+    compare.add_argument("--queries", type=int, default=3, help="number of queries")
+    compare.add_argument("--s1", type=float, default=0.1, help="join selectivity S1")
+    compare.add_argument("--ssigma", type=float, default=0.5, help="filter selectivity Sσ")
+    compare.add_argument("--time-scale", type=float, default=0.1, help="time scaling factor")
+    compare.add_argument("--seed", type=int, default=7)
+
+    figure = subparsers.add_parser("figure", help="regenerate a figure (11, 17, 18, 19)")
+    figure.add_argument("number", type=int, choices=(11, 17, 18, 19))
+    figure.add_argument("--panels", nargs="*", default=None, help="panel letters")
+    figure.add_argument("--rates", nargs="*", type=float, default=None)
+    figure.add_argument("--time-scale", type=float, default=None)
+
+    table = subparsers.add_parser("table", help="regenerate a table (2)")
+    table.add_argument("number", type=int, choices=(2,))
+
+    chains = subparsers.add_parser(
+        "chains", help="show the Mem-Opt and CPU-Opt chains for a workload"
+    )
+    chains.add_argument("--queries", type=int, default=12)
+    chains.add_argument("--windows", default="small-large")
+    chains.add_argument("--rate", type=float, default=40.0)
+    chains.add_argument("--s1", type=float, default=0.025)
+    chains.add_argument("--ssigma", type=float, default=1.0)
+    chains.add_argument("--csys", type=float, default=0.25, help="per-operator overhead")
+    chains.add_argument("--time-scale", type=float, default=1.0)
+
+    cost = subparsers.add_parser("cost", help="evaluate the two-query analytical cost model")
+    cost.add_argument("--rate", type=float, default=50.0)
+    cost.add_argument("--w2", type=float, default=60.0, help="large window (seconds)")
+    cost.add_argument("--rho", type=float, default=0.25, help="window ratio W1/W2")
+    cost.add_argument("--ssigma", type=float, default=0.5)
+    cost.add_argument("--s1", type=float, default=0.1)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations
+# ---------------------------------------------------------------------------
+def _cmd_compare(args: argparse.Namespace) -> str:
+    config = ExperimentConfig(
+        rate=args.rate,
+        window_distribution=args.windows,
+        query_count=args.queries,
+        join_selectivity=args.s1,
+        filter_selectivity=args.ssigma,
+        time_scale=args.time_scale,
+        seed=args.seed,
+    )
+    strategies = (
+        "unshared",
+        "selection-pullup",
+        "selection-pushdown",
+        "state-slice",
+        "state-slice-cpu-opt",
+    )
+    results = compare_strategies(config, strategies)
+    rows = []
+    for name in strategies:
+        result = results[name]
+        rows.append(
+            [
+                name,
+                f"{result.memory:.1f}",
+                f"{result.cpu_cost:.0f}",
+                f"{result.service_rate:.5f}",
+                result.output_count,
+            ]
+        )
+    header = f"configuration: {config.label()}\n"
+    return header + format_table(
+        ["strategy", "state (tuples)", "CPU (cmp)", "service rate", "outputs"], rows
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    if args.number == 11:
+        sections = []
+        surfaces = figure_11a(steps=9)
+        rows = [
+            [name, f"{max(p.value_pct for p in pts):.1f}"]
+            for name, pts in surfaces.items()
+        ]
+        sections.append("Figure 11(a) peak memory savings (%):\n" + format_table(
+            ["surface", "max %"], rows))
+        for label, fig in (("11(b) vs pull-up", figure_11b), ("11(c) vs push-down", figure_11c)):
+            rows = [
+                [f"S1={s1:g}", f"{max(p.value_pct for p in pts):.1f}"]
+                for s1, pts in sorted(fig(steps=9).items())
+            ]
+            sections.append(f"Figure {label} peak CPU savings (%):\n" + format_table(
+                ["surface", "max %"], rows))
+        return "\n\n".join(sections)
+
+    panels = args.panels
+    rates = tuple(args.rates) if args.rates else (20, 40, 60, 80)
+    if args.number == 17:
+        panels = panels or ["b"]
+        scale = args.time_scale or 0.1
+        parts = []
+        for panel in panels:
+            points = memory_panel(panel, rates=rates, time_scale=scale)
+            parts.append(f"Figure 17({panel}):\n" + format_memory_points(points, panel))
+        return "\n\n".join(parts)
+    if args.number == 18:
+        panels = panels or ["b"]
+        scale = args.time_scale or 0.1
+        parts = []
+        for panel in panels:
+            points = cpu_panel(panel, rates=rates, time_scale=scale)
+            parts.append(
+                f"Figure 18({panel}):\n" + format_service_rate_points(points, panel)
+            )
+        return "\n\n".join(parts)
+    panels = panels or ["c"]
+    scale = args.time_scale or 0.04
+    parts = []
+    for panel in panels:
+        points = chain_panel(panel, rates=rates, time_scale=scale)
+        parts.append(f"Figure 19({panel}):\n" + format_chain_points(points, panel))
+    return "\n\n".join(parts)
+
+
+def _cmd_table(args: argparse.Namespace) -> str:
+    return "Table 2 (regenerated trace):\n" + format_trace(table_2_trace())
+
+
+def _cmd_chains(args: argparse.Namespace) -> str:
+    config = ExperimentConfig(
+        rate=args.rate,
+        window_distribution=args.windows,
+        query_count=args.queries,
+        join_selectivity=args.s1,
+        filter_selectivity=args.ssigma,
+        time_scale=args.time_scale,
+        system_overhead=args.csys,
+    )
+    workload = make_workload(config)
+    params = ChainCostParameters(
+        arrival_rate_left=config.rate,
+        arrival_rate_right=config.rate,
+        system_overhead=config.system_overhead,
+    )
+    mem_opt = build_mem_opt_chain(workload)
+    cpu_opt = build_cpu_opt_chain(workload, params)
+    return (
+        f"workload: {config.label()}\n\n"
+        f"Mem-Opt chain ({len(mem_opt)} slices):\n{mem_opt.describe()}\n\n"
+        f"CPU-Opt chain ({len(cpu_opt)} slices, Csys={args.csys:g}):\n{cpu_opt.describe()}"
+    )
+
+
+def _cmd_cost(args: argparse.Namespace) -> str:
+    settings = TwoQuerySettings(
+        arrival_rate=args.rate,
+        window_small=args.rho * args.w2,
+        window_large=args.w2,
+        filter_selectivity=args.ssigma,
+        join_selectivity=args.s1,
+    )
+    estimates = [
+        selection_pullup_cost(settings),
+        selection_pushdown_cost(settings),
+        state_slice_cost(settings),
+    ]
+    savings = state_slice_savings(settings)
+    rows = [
+        [e.strategy, f"{e.memory:.0f}", f"{e.cpu:.0f}"] for e in estimates
+    ]
+    table = format_table(["strategy", "memory (KB)", "CPU (cmp/s)"], rows)
+    return (
+        table
+        + "\n\nstate-slice savings (Equation 4):"
+        + f"\n  memory vs pull-up   : {100 * savings.memory_vs_pullup:.1f}%"
+        + f"\n  memory vs push-down : {100 * savings.memory_vs_pushdown:.1f}%"
+        + f"\n  CPU vs pull-up      : {100 * savings.cpu_vs_pullup:.1f}%"
+        + f"\n  CPU vs push-down    : {100 * savings.cpu_vs_pushdown:.1f}%"
+    )
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "table": _cmd_table,
+    "chains": _cmd_chains,
+    "cost": _cmd_cost,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Runtime chain of sliced binary joins.
+
+:class:`SlicedJoinChain` is a lightweight runtime harness that manages a
+chain of :class:`~repro.operators.sliced_join.SlicedBinaryJoin` operators
+directly — without building a full query plan.  It is the most convenient
+entry point for:
+
+* verifying the equivalence theorems (Theorems 1-3) against a regular
+  window join,
+* inspecting the per-slice states (disjointness, Lemma 1),
+* exercising the online migration primitives of Section 5.3 — splitting a
+  slice into two and merging two adjacent slices while the stream is
+  running.
+
+For shared multi-query execution with selections, routers and unions, use
+:func:`repro.core.plan_builder.build_state_slice_plan`, which assembles a
+full :class:`~repro.engine.plan.QueryPlan` from the same building blocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.engine.errors import ChainError, MigrationError
+from repro.engine.metrics import MetricsCollector
+from repro.operators.sliced_join import SlicedBinaryJoin
+from repro.query.predicates import JoinCondition
+from repro.streams.tuples import JoinedTuple, Punctuation, RefTuple, StreamTuple
+
+__all__ = ["SlicedJoinChain", "SliceResult"]
+
+#: One result produced by the chain: the slice index and the joined tuple.
+SliceResult = tuple[int, JoinedTuple]
+
+
+class SlicedJoinChain:
+    """A pipelined chain of sliced binary window joins (Definition 2).
+
+    Parameters
+    ----------
+    boundaries:
+        The window boundaries of the chain, for example ``[0, 2, 4]`` for
+        the two slices ``[0, 2)`` and ``[2, 4)``.  The first boundary must
+        be 0 and boundaries must be strictly increasing.
+    condition:
+        The join condition shared by every slice.
+    left_stream / right_stream:
+        Names of the two input streams.
+    metrics:
+        Optional shared metrics collector for cost accounting.
+    """
+
+    def __init__(
+        self,
+        boundaries: Sequence[float],
+        condition: JoinCondition,
+        left_stream: str = "A",
+        right_stream: str = "B",
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        bounds = [float(b) for b in boundaries]
+        if len(bounds) < 2:
+            raise ChainError("a chain needs at least two boundaries (one slice)")
+        if abs(bounds[0]) > 1e-12:
+            raise ChainError(f"the first boundary must be 0, got {bounds[0]}")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ChainError(f"boundaries must be strictly increasing, got {bounds}")
+        self.condition = condition
+        self.left_stream = left_stream
+        self.right_stream = right_stream
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.joins: list[SlicedBinaryJoin] = []
+        for start, end in zip(bounds, bounds[1:]):
+            self.joins.append(self._make_join(start, end))
+
+    def _make_join(self, start: float, end: float) -> SlicedBinaryJoin:
+        join = SlicedBinaryJoin(
+            window_start=start,
+            window_end=end,
+            condition=self.condition,
+            left_stream=self.left_stream,
+            right_stream=self.right_stream,
+            name=f"slice[{start:g},{end:g})",
+        )
+        join.bind_metrics(self.metrics)
+        return join
+
+    # -- execution ------------------------------------------------------------------
+    def process(self, tup: StreamTuple) -> list[SliceResult]:
+        """Feed one arriving tuple through the whole chain.
+
+        Returns every joined result produced, tagged with the index of the
+        slice that produced it.  Tuples must be fed in global timestamp
+        order.
+        """
+        results: list[SliceResult] = []
+        port = "left" if tup.stream == self.left_stream else "right"
+        pending: deque[tuple[int, object]] = deque()
+        for out_port, item in self.joins[0].process(tup, port):
+            pending.append((0, (out_port, item)))
+        while pending:
+            index, (out_port, item) = pending.popleft()
+            if out_port == "output":
+                results.append((index, item))
+            elif out_port == "next":
+                next_index = index + 1
+                if next_index < len(self.joins):
+                    emissions = self.joins[next_index].process(item, "chain")
+                    for nxt_port, nxt_item in emissions:
+                        pending.append((next_index, (nxt_port, nxt_item)))
+            # punctuations are dropped: the chain harness returns results
+            # directly instead of routing them through a union operator.
+        return results
+
+    def process_all(self, tuples: Sequence[StreamTuple]) -> list[SliceResult]:
+        """Feed a whole (timestamp-ordered) sequence of tuples."""
+        results: list[SliceResult] = []
+        for tup in tuples:
+            results.extend(self.process(tup))
+        return results
+
+    def results_for_window(
+        self, results: Sequence[SliceResult], window: float
+    ) -> list[JoinedTuple]:
+        """Restrict chain results to those a query with ``window`` receives.
+
+        For a Mem-Opt chain the answer of a query with window ``w_k`` is the
+        union of the results of slices 1..k; for a chain with merged slices
+        the results of the completing slice must additionally satisfy the
+        query's window constraint (the router check).
+        """
+        answer = []
+        for index, joined in results:
+            join = self.joins[index]
+            if join.slice.end <= window + 1e-12:
+                answer.append(joined)
+            elif join.slice.start < window:
+                gap = abs(joined.left.timestamp - joined.right.timestamp)
+                if gap < window:
+                    answer.append(joined)
+        return answer
+
+    # -- introspection ------------------------------------------------------------------
+    @property
+    def boundaries(self) -> list[float]:
+        return [self.joins[0].slice.start] + [join.slice.end for join in self.joins]
+
+    def slice_count(self) -> int:
+        return len(self.joins)
+
+    def state_size(self) -> int:
+        """Total number of tuples stored across all slices of the chain."""
+        return sum(join.state_size() for join in self.joins)
+
+    def state_sizes(self) -> list[int]:
+        return [join.state_size() for join in self.joins]
+
+    def state_tuples(self, stream: str) -> list[list[StreamTuple]]:
+        """Per-slice state contents of one stream (oldest slice last)."""
+        return [join.state_tuples(stream) for join in self.joins]
+
+    def states_are_disjoint(self) -> bool:
+        """Check the Lemma 1 property: per-stream slice states never overlap."""
+        for stream in (self.left_stream, self.right_stream):
+            seen: set[int] = set()
+            for join in self.joins:
+                for tup in join.state_tuples(stream):
+                    if tup.seqno in seen:
+                        return False
+                    seen.add(tup.seqno)
+        return True
+
+    # -- online migration (Section 5.3) ---------------------------------------------------
+    def split_slice(self, index: int, boundary: float) -> None:
+        """Split slice ``index`` at ``boundary`` into two adjacent slices.
+
+        Following Section 5.3, the existing join simply has its end window
+        shrunk and an empty join is inserted after it; the next probe tuples
+        will naturally purge the now-too-old tuples into the new slice, so
+        no state needs to be moved and no results are lost.
+        """
+        if not 0 <= index < len(self.joins):
+            raise MigrationError(f"no slice with index {index}")
+        join = self.joins[index]
+        if not (join.slice.start < boundary < join.slice.end):
+            raise MigrationError(
+                f"split boundary {boundary:g} must lie strictly inside "
+                f"{join.slice.describe()}"
+            )
+        old_end = join.slice.end
+        new_join = self._make_join(boundary, old_end)
+        join.slice = type(join.slice)(join.slice.start, boundary)
+        self.joins.insert(index + 1, new_join)
+
+    def merge_slices(self, index: int) -> None:
+        """Merge slice ``index`` with slice ``index + 1``.
+
+        The states of the two slices are concatenated (the later slice holds
+        the older tuples, so its state goes first) and the surviving join's
+        end window is extended, mirroring the merge procedure of
+        Section 5.3.  The queue between the two slices is always empty in
+        this harness because every arrival is propagated fully.
+        """
+        if not 0 <= index < len(self.joins) - 1:
+            raise MigrationError(
+                f"cannot merge slice {index}: it has no successor in the chain"
+            )
+        keep = self.joins[index]
+        absorb = self.joins[index + 1]
+        for stream in (self.left_stream, self.right_stream):
+            older = absorb.state_tuples(stream)
+            newer = keep.state_tuples(stream)
+            merged = deque(older + newer)
+            keep._states[stream] = merged
+        keep.slice = type(keep.slice)(keep.slice.start, absorb.slice.end)
+        del self.joins[index + 1]
+
+    def describe(self) -> str:
+        parts = [join.slice.describe() for join in self.joins]
+        return " -> ".join(parts)

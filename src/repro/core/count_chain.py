@@ -1,0 +1,134 @@
+"""Runtime chain of count-based sliced joins.
+
+Mirror of :class:`repro.core.chain.SlicedJoinChain` for count-based sliding
+windows (the extension the paper's Section 2 mentions): the chain boundaries
+are tuple *counts* instead of time offsets, each slice stores the tuples of
+one contiguous rank range per stream, and the union of the slice outputs
+equals the regular count-based join with the largest count window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.engine.errors import ChainError
+from repro.engine.metrics import MetricsCollector
+from repro.operators.count_join import CountSlicedBinaryJoin
+from repro.query.predicates import JoinCondition
+from repro.streams.tuples import JoinedTuple, StreamTuple
+
+__all__ = ["CountSlicedJoinChain"]
+
+
+class CountSlicedJoinChain:
+    """A pipelined chain of count-based sliced binary joins.
+
+    Parameters
+    ----------
+    boundaries:
+        Rank boundaries of the chain, for example ``[0, 5, 20]`` for two
+        slices holding the 5 most recent tuples and the following 15.
+        The first boundary must be 0 and boundaries must strictly increase.
+    condition:
+        The join condition shared by every slice.
+    """
+
+    def __init__(
+        self,
+        boundaries: Sequence[int],
+        condition: JoinCondition,
+        left_stream: str = "A",
+        right_stream: str = "B",
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        bounds = [int(b) for b in boundaries]
+        if len(bounds) < 2:
+            raise ChainError("a chain needs at least two boundaries (one slice)")
+        if bounds[0] != 0:
+            raise ChainError(f"the first boundary must be 0, got {bounds[0]}")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ChainError(f"boundaries must be strictly increasing, got {bounds}")
+        self.condition = condition
+        self.left_stream = left_stream
+        self.right_stream = right_stream
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.joins: list[CountSlicedBinaryJoin] = []
+        for start, end in zip(bounds, bounds[1:]):
+            join = CountSlicedBinaryJoin(
+                rank_start=start,
+                rank_end=end,
+                condition=condition,
+                left_stream=left_stream,
+                right_stream=right_stream,
+                name=f"count-slice[{start},{end})",
+            )
+            join.bind_metrics(self.metrics)
+            self.joins.append(join)
+
+    # -- execution -----------------------------------------------------------------
+    def process(self, tup: StreamTuple) -> list[tuple[int, JoinedTuple]]:
+        """Feed one arriving tuple through the whole chain."""
+        results: list[tuple[int, JoinedTuple]] = []
+        port = "left" if tup.stream == self.left_stream else "right"
+        pending: deque[tuple[int, tuple[str, object]]] = deque()
+        for emission in self.joins[0].process(tup, port):
+            pending.append((0, emission))
+        while pending:
+            index, (out_port, item) = pending.popleft()
+            if out_port == "output":
+                results.append((index, item))
+            elif out_port == "next":
+                next_index = index + 1
+                if next_index < len(self.joins):
+                    for emission in self.joins[next_index].process(item, "chain"):
+                        pending.append((next_index, emission))
+        return results
+
+    def process_all(self, tuples: Sequence[StreamTuple]) -> list[tuple[int, JoinedTuple]]:
+        results: list[tuple[int, JoinedTuple]] = []
+        for tup in tuples:
+            results.extend(self.process(tup))
+        return results
+
+    def results_for_count(
+        self, results: Sequence[tuple[int, JoinedTuple]], count: int
+    ) -> list[JoinedTuple]:
+        """Restrict chain results to those a query with count window ``count`` gets.
+
+        Only prefix counts matching a chain boundary can be answered exactly
+        (the Mem-Opt construction guarantees one boundary per registered
+        query); other counts raise :class:`ChainError`.
+        """
+        boundaries = self.boundaries
+        if count not in boundaries[1:]:
+            raise ChainError(
+                f"count {count} is not a chain boundary; boundaries: {boundaries}"
+            )
+        last_slice = boundaries[1:].index(count)
+        return [joined for index, joined in results if index <= last_slice]
+
+    # -- introspection -------------------------------------------------------------
+    @property
+    def boundaries(self) -> list[int]:
+        bounds = [self.joins[0].rank_start]
+        bounds.extend(join.rank_end for join in self.joins)
+        return bounds
+
+    def state_size(self) -> int:
+        return sum(join.state_size() for join in self.joins)
+
+    def states_are_disjoint(self) -> bool:
+        for stream in (self.left_stream, self.right_stream):
+            seen: set[int] = set()
+            for join in self.joins:
+                for tup in join.state_tuples(stream):
+                    if tup.seqno in seen:
+                        return False
+                    seen.add(tup.seqno)
+        return True
+
+    def describe(self) -> str:
+        return " -> ".join(
+            f"[{join.rank_start},{join.rank_end})" for join in self.joins
+        )

@@ -1,0 +1,27 @@
+"""Memory-optimal chain construction (Section 5.1).
+
+The Mem-Opt chain has one slice per distinct query window: slices
+``[0, w1), [w1, w2), ..., [w_{N-1}, w_N)`` for the distinct windows sorted
+ascending.  Theorem 3 proves that this chain's total state memory equals the
+state memory of a single join with the largest window — the minimum needed
+to answer the largest query at all — and Theorem 4 extends the claim to the
+chain with selections pushed down.
+"""
+
+from __future__ import annotations
+
+from repro.core.slices import ChainSpec, SliceSpec
+from repro.query.query import QueryWorkload
+
+__all__ = ["build_mem_opt_chain"]
+
+
+def build_mem_opt_chain(workload: QueryWorkload) -> ChainSpec:
+    """Build the Mem-Opt chain: one slice per distinct query window."""
+    windows = workload.window_sizes()
+    slices = []
+    previous = 0.0
+    for window in windows:
+        slices.append(SliceSpec(start=previous, end=window, covered_windows=(window,)))
+        previous = window
+    return ChainSpec(workload, slices)

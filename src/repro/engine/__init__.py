@@ -1,0 +1,50 @@
+"""DSMS micro-kernel: operators, plans, executors and cost accounting."""
+
+from repro.engine.clock import VirtualClock
+from repro.engine.errors import (
+    ChainError,
+    ConfigurationError,
+    ExecutionError,
+    MigrationError,
+    ParseError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SchedulingError,
+    SchemaError,
+)
+from repro.engine.executor import ImmediateExecutor, execute_plan
+from repro.engine.metrics import CostCategory, MetricsCollector, RunReport, StateMemorySample
+from repro.engine.operator import Operator, PassThrough
+from repro.engine.plan import Edge, Entry, Output, QueryPlan
+from repro.engine.queues import OperatorQueue
+from repro.engine.scheduler import RoundRobinScheduler, ScheduledExecutor
+
+__all__ = [
+    "VirtualClock",
+    "ReproError",
+    "SchemaError",
+    "PlanError",
+    "QueryError",
+    "ParseError",
+    "ExecutionError",
+    "SchedulingError",
+    "ChainError",
+    "MigrationError",
+    "ConfigurationError",
+    "ImmediateExecutor",
+    "execute_plan",
+    "CostCategory",
+    "MetricsCollector",
+    "RunReport",
+    "StateMemorySample",
+    "Operator",
+    "PassThrough",
+    "Edge",
+    "Entry",
+    "Output",
+    "QueryPlan",
+    "OperatorQueue",
+    "RoundRobinScheduler",
+    "ScheduledExecutor",
+]

@@ -1,0 +1,58 @@
+"""Virtual time for the simulated DSMS.
+
+The engine is a discrete-event simulation: time advances only when a tuple
+with a later timestamp is processed.  :class:`VirtualClock` tracks the
+current simulated time and enforces monotonicity, which the paper's global
+timestamp ordering assumption requires.
+"""
+
+from __future__ import annotations
+
+from repro.engine.errors import ExecutionError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._start = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated time elapsed since the clock was created or reset."""
+        return self._now - self._start
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp``.
+
+        Going backwards raises :class:`ExecutionError` because it would
+        violate the global ordering of tuple timestamps that the sliced-join
+        purging logic relies on.
+        """
+        if timestamp < self._now:
+            raise ExecutionError(
+                f"clock cannot move backwards: now={self._now}, requested={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def observe(self, timestamp: float) -> float:
+        """Advance the clock if ``timestamp`` is newer; never move backwards."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._start = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"VirtualClock(now={self._now:g})"

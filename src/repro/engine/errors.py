@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro DSMS.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single except clause while
+still being able to distinguish configuration errors from runtime errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "PlanError",
+    "QueryError",
+    "ParseError",
+    "ExecutionError",
+    "SchedulingError",
+    "ChainError",
+    "MigrationError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A stream schema was malformed or an attribute reference is invalid."""
+
+
+class PlanError(ReproError):
+    """A query plan DAG is malformed (cycles, dangling ports, bad wiring)."""
+
+
+class QueryError(ReproError):
+    """A continuous-query specification is invalid."""
+
+
+class ParseError(QueryError):
+    """The SQL-like query text could not be parsed."""
+
+
+class ExecutionError(ReproError):
+    """The executor encountered an inconsistent runtime condition."""
+
+
+class SchedulingError(ExecutionError):
+    """The scheduler was asked to do something impossible."""
+
+
+class ChainError(ReproError):
+    """A sliced-join chain specification is invalid (bad slice boundaries)."""
+
+
+class MigrationError(ReproError):
+    """An online chain migration (split/merge) could not be applied."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or generator configuration is invalid."""

@@ -1,0 +1,152 @@
+"""Plan executors.
+
+Two executors are provided:
+
+* :class:`ImmediateExecutor` — a push-based executor that fully processes
+  each arriving tuple (and every item it transitively produces) before the
+  next arrival.  It is deterministic, matches the synchronous execution the
+  paper's analysis assumes, and is the executor used by the correctness
+  tests and the benchmark harness.
+
+* :class:`ScheduledExecutor` (see :mod:`repro.engine.scheduler`) — an
+  operator-at-a-time executor with explicit inter-operator queues and a
+  round-robin scheduler, mirroring how the CAPE prototype runs operators.
+  It exposes asynchronous effects such as queue build-up.
+
+Both return a :class:`~repro.engine.metrics.RunReport`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+from repro.engine.clock import VirtualClock
+from repro.engine.errors import ExecutionError
+from repro.engine.metrics import MetricsCollector, RunReport
+from repro.engine.plan import QueryPlan
+from repro.streams.tuples import StreamTuple
+
+__all__ = ["ImmediateExecutor", "execute_plan"]
+
+
+class ImmediateExecutor:
+    """Push-based executor: every arrival is fully propagated before the next.
+
+    Parameters
+    ----------
+    plan:
+        The (validated) query plan to execute.
+    metrics:
+        Shared metrics collector; a fresh one is created when omitted.
+    memory_sample_interval:
+        Sample the total join-state occupancy every N arrivals.  Sampling on
+        every arrival is exact but slows large runs; the default of 1 keeps
+        the correctness tests exact while benchmarks pass a larger stride.
+    retain_results:
+        When False, query outputs are only counted (via the metrics
+        collector), not stored.  Long benchmark runs producing millions of
+        joined tuples use this to bound memory.
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        metrics: MetricsCollector | None = None,
+        memory_sample_interval: int = 1,
+        retain_results: bool = True,
+    ) -> None:
+        plan.validate()
+        self.plan = plan
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.plan.bind_metrics(self.metrics)
+        self.clock = VirtualClock()
+        self.memory_sample_interval = max(1, int(memory_sample_interval))
+        self.retain_results = retain_results
+        self.results: dict[str, list[Any]] = {name: [] for name in plan.output_names()}
+        self._arrivals_seen = 0
+
+    # -- public API -----------------------------------------------------------
+    def run(self, tuples: Iterable[StreamTuple], strategy: str = "") -> RunReport:
+        """Process all ``tuples`` (must be in timestamp order) and flush."""
+        last_timestamp = 0.0
+        for tup in tuples:
+            self.process_arrival(tup)
+            last_timestamp = tup.timestamp
+        self.finish()
+        return RunReport(
+            strategy=strategy or self.plan.name,
+            metrics=self.metrics,
+            results=self.results,
+            duration=last_timestamp,
+        )
+
+    def process_arrival(self, tup: StreamTuple) -> None:
+        """Inject one arriving stream tuple and propagate it fully."""
+        entries = self.plan.entries_for(tup.stream)
+        if not entries:
+            raise ExecutionError(
+                f"no entry point registered for stream {tup.stream!r} in plan "
+                f"{self.plan.name!r}"
+            )
+        self.clock.observe(tup.timestamp)
+        self.metrics.record_ingest()
+        work: deque[tuple[str, str, Any]] = deque()
+        for entry in entries:
+            work.append((entry.operator, entry.port, tup))
+        self._drain(work)
+        self._arrivals_seen += 1
+        if self._arrivals_seen % self.memory_sample_interval == 0:
+            self.metrics.sample_memory(tup.timestamp, self.plan.total_state_size())
+
+    def finish(self) -> None:
+        """Flush buffered operator state (for example pending union output)."""
+        work: deque[tuple[str, str, Any]] = deque()
+        for operator in self.plan.topological_order():
+            for port, item in operator.flush():
+                self._route(operator.name, port, item, work)
+            self._drain(work)
+
+    # -- internals ----------------------------------------------------------------
+    def _drain(self, work: deque[tuple[str, str, Any]]) -> None:
+        """Deliver queued work items in FIFO order until quiescent."""
+        while work:
+            operator_name, port, item = work.popleft()
+            operator = self.plan.operator(operator_name)
+            emissions = operator.process(item, port)
+            for out_port, out_item in emissions:
+                self._route(operator_name, out_port, out_item, work)
+
+    def _route(
+        self,
+        operator_name: str,
+        port: str,
+        item: Any,
+        work: deque[tuple[str, str, Any]],
+    ) -> None:
+        """Send an emitted item to downstream operators and query outputs."""
+        for output in self.plan.outputs_at(operator_name, port):
+            if self.retain_results:
+                self.results[output.name].append(item)
+            self.metrics.record_emission(output.name)
+        for edge in self.plan.downstream(operator_name, port):
+            work.append((edge.target, edge.target_port, item))
+
+
+def execute_plan(
+    plan: QueryPlan,
+    tuples: Iterable[StreamTuple],
+    strategy: str = "",
+    system_overhead: float = 0.0,
+    memory_sample_interval: int = 1,
+    retain_results: bool = True,
+) -> RunReport:
+    """Convenience wrapper: build an :class:`ImmediateExecutor` and run it."""
+    metrics = MetricsCollector(system_overhead=system_overhead)
+    executor = ImmediateExecutor(
+        plan,
+        metrics=metrics,
+        memory_sample_interval=memory_sample_interval,
+        retain_results=retain_results,
+    )
+    return executor.run(tuples, strategy=strategy)

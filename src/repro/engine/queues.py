@@ -1,0 +1,59 @@
+"""Inter-operator queues.
+
+Operators in a query plan are connected by FIFO queues.  The push-based
+executor uses them only transiently, but the scheduled executor keeps items
+buffered between operator invocations, which makes queue occupancy (the
+paper's "queue memory") observable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Iterator, Optional
+
+__all__ = ["OperatorQueue"]
+
+
+class OperatorQueue:
+    """A FIFO queue feeding one input port of one operator.
+
+    The queue records its high-water mark so experiments can report queue
+    memory in addition to state memory.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._items: deque[Any] = deque()
+        self.max_size = 0
+        self.total_enqueued = 0
+
+    def push(self, item: Any) -> None:
+        self._items.append(item)
+        self.total_enqueued += 1
+        if len(self._items) > self.max_size:
+            self.max_size = len(self._items)
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.push(item)
+
+    def pop(self) -> Any:
+        return self._items.popleft()
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0] if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"OperatorQueue({self.name!r}, size={len(self._items)})"

@@ -1,0 +1,76 @@
+"""Figure 11 — analytical savings surfaces.
+
+The figure plots the Equation 4 savings of state-slicing over the two
+baseline strategies across the (ρ = W1/W2, Sσ) plane:
+
+* Figure 11(a): memory savings vs selection pull-up and vs push-down;
+* Figure 11(b): CPU savings vs selection pull-up for S1 ∈ {0.4, 0.1, 0.025};
+* Figure 11(c): CPU savings vs selection push-down for the same S1 values.
+
+These are purely analytical — no simulation — and are regenerated exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import savings_grid
+
+__all__ = ["SurfacePoint", "figure_11a", "figure_11b", "figure_11c", "default_grid"]
+
+
+@dataclass(frozen=True)
+class SurfacePoint:
+    """One (ρ, Sσ) grid point of a savings surface, in percent."""
+
+    rho: float
+    filter_selectivity: float
+    value_pct: float
+
+
+def default_grid(steps: int = 11) -> tuple[list[float], list[float]]:
+    """The (ρ, Sσ) grid of Figure 11: both axes span (0, 1)."""
+    values = [round(i / (steps + 1), 6) for i in range(1, steps + 1)]
+    return values, values
+
+
+def figure_11a(steps: int = 11) -> dict[str, list[SurfacePoint]]:
+    """Memory savings surfaces (vs pull-up and vs push-down)."""
+    rho_values, s_sigma_values = default_grid(steps)
+    rows = savings_grid(rho_values, s_sigma_values)
+    vs_pullup = [
+        SurfacePoint(row["rho"], row["filter_selectivity"], row["memory_saving_vs_pullup_pct"])
+        for row in rows
+    ]
+    vs_pushdown = [
+        SurfacePoint(
+            row["rho"], row["filter_selectivity"], row["memory_saving_vs_pushdown_pct"]
+        )
+        for row in rows
+    ]
+    return {"vs_pullup": vs_pullup, "vs_pushdown": vs_pushdown}
+
+
+def _cpu_surface(steps: int, key: str, join_selectivities: tuple[float, ...]) -> dict[float, list[SurfacePoint]]:
+    rho_values, s_sigma_values = default_grid(steps)
+    surfaces = {}
+    for s1 in join_selectivities:
+        rows = savings_grid(rho_values, s_sigma_values, join_selectivity=s1)
+        surfaces[s1] = [
+            SurfacePoint(row["rho"], row["filter_selectivity"], row[key]) for row in rows
+        ]
+    return surfaces
+
+
+def figure_11b(
+    steps: int = 11, join_selectivities: tuple[float, ...] = (0.4, 0.1, 0.025)
+) -> dict[float, list[SurfacePoint]]:
+    """CPU savings vs selection pull-up, one surface per join selectivity."""
+    return _cpu_surface(steps, "cpu_saving_vs_pullup_pct", join_selectivities)
+
+
+def figure_11c(
+    steps: int = 11, join_selectivities: tuple[float, ...] = (0.4, 0.1, 0.025)
+) -> dict[float, list[SurfacePoint]]:
+    """CPU savings vs selection push-down, one surface per join selectivity."""
+    return _cpu_surface(steps, "cpu_saving_vs_pushdown_pct", join_selectivities)

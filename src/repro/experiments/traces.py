@@ -1,0 +1,174 @@
+"""Table 2 — step-by-step execution trace of a one-way sliced-join chain.
+
+The paper illustrates the chain semantics with a hand-run trace: a chain of
+two one-way sliced joins J1 = A[0,2) s⋉ B and J2 = A[2,4) s⋉ B under
+Cartesian-product matching, fed one tuple per second (a1, a2, a3, b1, b2,
+then two idle seconds, a4, two more idle seconds), with one operator run per
+second.  Table 2 lists, after every step, the contents of J1's state, the
+queue between the joins, J2's state and the produced outputs.
+
+:func:`table_2_trace` replays exactly that scenario and returns the rows, so
+tests and the benchmark harness can diff them against the paper's table.
+
+Boundary convention
+-------------------
+This library uses the half-open slice ``[Wstart, Wend)`` of the paper's
+Definition 1 consistently: a tuple whose age reaches exactly ``Wend`` is
+purged into the next slice.  The paper's hand-run illustration instead keeps
+such a tuple one step longer (its Figure 6 purges only when the age is
+*strictly greater* than ``Wend``), so a pair whose timestamp gap equals a
+slice boundary is attributed to the earlier slice in the paper's table and
+to the later slice here.  The union of the chain's results — the property
+Theorem 1 is about — is identical under both conventions;
+:func:`table_2_full_outputs` exposes it for verification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.operators.sliced_join import SlicedOneWayJoin
+from repro.query.predicates import CrossProductCondition
+from repro.streams.tuples import JoinedTuple, Punctuation, StreamTuple, make_tuple
+
+__all__ = ["TraceRow", "table_2_trace", "table_2_full_outputs", "PAPER_TABLE_2"]
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """One row of the Table 2 trace."""
+
+    time: int
+    arrival: str
+    operator: str
+    state_j1: tuple[str, ...]
+    queue: tuple[str, ...]
+    state_j2: tuple[str, ...]
+    output: tuple[str, ...]
+
+
+#: The rows printed in the paper's Table 2 (T, arrival, operator run, J1
+#: state, queue, J2 state, output).  State and queue contents are listed
+#: newest-first, exactly as the paper prints them.
+PAPER_TABLE_2: tuple[TraceRow, ...] = (
+    TraceRow(1, "a1", "J1", ("a1",), (), (), ()),
+    TraceRow(2, "a2", "J1", ("a2", "a1"), (), (), ()),
+    TraceRow(3, "a3", "J1", ("a3", "a2", "a1"), (), (), ()),
+    TraceRow(4, "b1", "J1", ("a3", "a2"), ("b1", "a1"), (), ("(a2,b1)", "(a3,b1)")),
+    TraceRow(5, "b2", "J1", ("a3",), ("b2", "a2", "b1", "a1"), (), ("(a3,b2)",)),
+    TraceRow(6, "", "J2", ("a3",), ("b2", "a2", "b1"), ("a1",), ()),
+    TraceRow(7, "", "J2", ("a3",), ("b2", "a2"), ("a1",), ("(a1,b1)",)),
+    TraceRow(8, "a4", "J1", ("a4", "a3"), ("b2", "a2"), ("a1",), ()),
+    TraceRow(9, "", "J2", ("a4",), ("a3", "b2"), ("a2", "a1"), ()),
+    TraceRow(10, "", "J2", ("a4",), ("a3",), ("a2", "a1"), ("(a1,b2)", "(a2,b2)")),
+)
+
+
+def _label(tup: StreamTuple) -> str:
+    return str(tup.values["label"])
+
+
+def _joined_label(joined: JoinedTuple) -> str:
+    return f"({_label(joined.left)},{_label(joined.right)})"
+
+
+def table_2_trace() -> list[TraceRow]:
+    """Replay the Table 2 scenario and return one row per executed step.
+
+    The scheduling follows the paper exactly: at each second one operator is
+    selected to run and processes one input tuple.  J1 runs whenever a new
+    stream tuple arrives (and additionally at second 8); J2 runs on the
+    other seconds, consuming one item from the inter-join queue.
+    """
+    condition = CrossProductCondition()
+    j1 = SlicedOneWayJoin(0.0, 2.0, condition, name="J1")
+    j2 = SlicedOneWayJoin(2.0, 4.0, condition, name="J2")
+    queue: deque = deque()
+
+    arrivals: dict[int, StreamTuple] = {
+        1: make_tuple("A", 1.0, label="a1"),
+        2: make_tuple("A", 2.0, label="a2"),
+        3: make_tuple("A", 3.0, label="a3"),
+        4: make_tuple("B", 4.0, label="b1"),
+        5: make_tuple("B", 5.0, label="b2"),
+        8: make_tuple("A", 8.0, label="a4"),
+    }
+    schedule: dict[int, str] = {
+        1: "J1",
+        2: "J1",
+        3: "J1",
+        4: "J1",
+        5: "J1",
+        6: "J2",
+        7: "J2",
+        8: "J1",
+        9: "J2",
+        10: "J2",
+    }
+
+    rows: list[TraceRow] = []
+    for second in range(1, 11):
+        operator = schedule[second]
+        outputs: list[str] = []
+        if operator == "J1":
+            tup = arrivals[second]
+            port = "left" if tup.stream == "A" else "right"
+            for out_port, item in j1.process(tup, port):
+                if out_port == "output":
+                    outputs.append(_joined_label(item))
+                elif out_port in ("purged", "propagated"):
+                    queue.append(item)
+        else:
+            if queue:
+                item = queue.popleft()
+                port = "left" if item.stream == "A" else "right"
+                for out_port, result in j2.process(item, port):
+                    if out_port == "output":
+                        outputs.append(_joined_label(result))
+        rows.append(
+            TraceRow(
+                time=second,
+                arrival=_label(arrivals[second]) if second in arrivals else "",
+                operator=operator,
+                state_j1=tuple(reversed([_label(t) for t in j1.state_tuples()])),
+                queue=tuple(reversed([_label(t) for t in queue])),
+                state_j2=tuple(reversed([_label(t) for t in j2.state_tuples()])),
+                output=tuple(outputs),
+            )
+        )
+    return rows
+
+
+def table_2_full_outputs() -> set[str]:
+    """All joined pairs the Table 2 chain produces once the queue is drained.
+
+    This is the quantity Theorem 1 speaks about: it must equal the output of
+    the regular one-way join ``A[4] ⋉ B`` over the same arrivals, namely
+    ``{(a1,b1), (a2,b1), (a3,b1), (a2,b2), (a3,b2)}``.
+    """
+    condition = CrossProductCondition()
+    j1 = SlicedOneWayJoin(0.0, 2.0, condition, name="J1")
+    j2 = SlicedOneWayJoin(2.0, 4.0, condition, name="J2")
+    arrivals = [
+        make_tuple("A", 1.0, label="a1"),
+        make_tuple("A", 2.0, label="a2"),
+        make_tuple("A", 3.0, label="a3"),
+        make_tuple("B", 4.0, label="b1"),
+        make_tuple("B", 5.0, label="b2"),
+        make_tuple("A", 8.0, label="a4"),
+    ]
+    outputs: set[str] = set()
+    for tup in arrivals:
+        port = "left" if tup.stream == "A" else "right"
+        pending = deque(j1.process(tup, port))
+        while pending:
+            out_port, item = pending.popleft()
+            if out_port == "output":
+                outputs.add(_joined_label(item))
+            elif out_port in ("purged", "propagated"):
+                next_port = "left" if item.stream == "A" else "right"
+                for nxt in j2.process(item, next_port):
+                    if nxt[0] == "output":
+                        outputs.add(_joined_label(nxt[1]))
+    return outputs

@@ -1,0 +1,225 @@
+"""Count-based sliding-window joins, regular and sliced.
+
+The paper presents state-slicing with time-based windows and notes that
+"our proposed techniques can be applied to count-based window constraints in
+the same way" (Section 2).  This module provides that extension:
+
+* :class:`CountWindowJoin` — the regular count-based join
+  ``A[rows N] ⋈ B[rows M]``: each side's state holds the most recent N (M)
+  tuples of that stream, an arriving tuple probes the opposite state and is
+  then inserted into its own state, evicting the oldest tuple on overflow.
+
+* :class:`CountSlicedBinaryJoin` — one slice ``[rank_start, rank_end)`` of a
+  count-based chain.  A slice stores, per stream, the tuples whose *rank*
+  (number of newer tuples of the same stream) falls inside the slice.
+  Unlike the time-based sliced join, eviction is triggered by same-stream
+  insertions (rank only changes when a newer tuple of the same stream
+  arrives), so the female copy both inserts and hands the overflowing tuple
+  to the next slice; the male copy only probes and propagates.
+
+Chains of count-sliced joins are managed by
+:class:`repro.core.count_chain.CountSlicedJoinChain`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.engine.errors import PlanError
+from repro.engine.metrics import CostCategory
+from repro.engine.operator import Emission, Operator
+from repro.query.predicates import JoinCondition
+from repro.streams.tuples import FEMALE, JoinedTuple, Punctuation, RefTuple, StreamTuple
+
+__all__ = ["CountWindowJoin", "CountSlicedBinaryJoin"]
+
+
+class CountWindowJoin(Operator):
+    """Regular count-based sliding-window join ``A[rows N] ⋈ B[rows M]``."""
+
+    input_ports = ("left", "right")
+    output_ports = ("output",)
+
+    def __init__(
+        self,
+        count_left: int,
+        count_right: int,
+        condition: JoinCondition,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        if count_left <= 0 or count_right <= 0:
+            raise PlanError(
+                f"count windows must be positive, got {count_left}, {count_right}"
+            )
+        self.count_left = int(count_left)
+        self.count_right = int(count_right)
+        self.condition = condition
+        self._left_state: Deque[StreamTuple] = deque()
+        self._right_state: Deque[StreamTuple] = deque()
+
+    def _declares_state(self) -> bool:
+        return True
+
+    def state_size(self) -> int:
+        return len(self._left_state) + len(self._right_state)
+
+    def process(self, item: Any, port: str) -> list[Emission]:
+        self.metrics.record_invocation(self.name)
+        if isinstance(item, Punctuation):
+            return []
+        if port == "left":
+            return self._handle(item, from_left=True)
+        if port == "right":
+            return self._handle(item, from_left=False)
+        raise PlanError(f"unexpected port {port!r} for {self.name!r}")
+
+    def _handle(self, tup: StreamTuple, from_left: bool) -> list[Emission]:
+        own_state = self._left_state if from_left else self._right_state
+        other_state = self._right_state if from_left else self._left_state
+        own_limit = self.count_left if from_left else self.count_right
+        emissions: list[Emission] = []
+        # Probe the opposite state (its newest `count` tuples by construction).
+        for candidate in other_state:
+            self.metrics.count(CostCategory.PROBE)
+            left, right = (tup, candidate) if from_left else (candidate, tup)
+            if self.condition.matches(left, right):
+                emissions.append(("output", JoinedTuple(left, right)))
+        # Insert, evicting the oldest tuple of the own state on overflow.
+        own_state.append(tup)
+        if len(own_state) > own_limit:
+            self.metrics.count(CostCategory.PURGE)
+            own_state.popleft()
+        return emissions
+
+    def describe(self) -> str:
+        return (
+            f"A[rows {self.count_left}] ⋈ B[rows {self.count_right}] on "
+            f"{self.condition.describe()}"
+        )
+
+
+class CountSlicedBinaryJoin(Operator):
+    """One slice ``[rank_start, rank_end)`` of a count-based sliced-join chain.
+
+    Ports mirror :class:`repro.operators.sliced_join.SlicedBinaryJoin`:
+    raw arrivals enter the head of the chain on ``left``/``right``;
+    reference tuples travel between slices on ``chain``/``next``;
+    results leave on ``output``; punctuations on ``punct``.
+    """
+
+    input_ports = ("left", "right", "chain")
+    output_ports = ("output", "next", "punct")
+
+    def __init__(
+        self,
+        rank_start: int,
+        rank_end: int,
+        condition: JoinCondition,
+        left_stream: str = "A",
+        right_stream: str = "B",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        if rank_start < 0 or rank_end <= rank_start:
+            raise PlanError(
+                f"invalid rank slice [{rank_start}, {rank_end}) for {name!r}"
+            )
+        self.rank_start = int(rank_start)
+        self.rank_end = int(rank_end)
+        self.condition = condition
+        self.left_stream = left_stream
+        self.right_stream = right_stream
+        self._states: dict[str, Deque[StreamTuple]] = {
+            left_stream: deque(),
+            right_stream: deque(),
+        }
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Number of tuples of each stream this slice may hold."""
+        return self.rank_end - self.rank_start
+
+    def _declares_state(self) -> bool:
+        return True
+
+    def state_size(self) -> int:
+        return sum(len(state) for state in self._states.values())
+
+    def state_tuples(self, stream: str) -> list[StreamTuple]:
+        return list(self._states[stream])
+
+    # -- execution --------------------------------------------------------------
+    def process(self, item: Any, port: str) -> list[Emission]:
+        self.metrics.record_invocation(self.name)
+        if isinstance(item, Punctuation):
+            return [("punct", item)]
+        if port in ("left", "right"):
+            if item.stream not in self._states:
+                raise PlanError(
+                    f"join {self.name!r} joins streams {sorted(self._states)}, got "
+                    f"{item.stream!r}"
+                )
+            emissions = self._process_male(item)
+            emissions.extend(self._process_female(item))
+            return emissions
+        if port == "chain":
+            if not isinstance(item, RefTuple):
+                raise PlanError(
+                    f"chain input of {self.name!r} expects reference tuples, got "
+                    f"{type(item).__name__}"
+                )
+            if item.is_male():
+                return self._process_male(item.base)
+            return self._process_female(item.base)
+        raise PlanError(f"unexpected port {port!r} for {self.name!r}")
+
+    def _process_male(self, tup: StreamTuple) -> list[Emission]:
+        """Probe the opposite sliced state, then propagate down the chain."""
+        opposite = self._opposite(tup.stream)
+        emissions: list[Emission] = []
+        for candidate in self._states[opposite]:
+            self.metrics.count(CostCategory.PROBE)
+            left, right = self._orient(tup, candidate)
+            if self.condition.matches(left, right):
+                emissions.append(("output", JoinedTuple(left, right)))
+        emissions.append(("next", RefTuple(tup, "male")))
+        emissions.append(("punct", Punctuation(tup.timestamp, source=self.name)))
+        return emissions
+
+    def _process_female(self, tup: StreamTuple) -> list[Emission]:
+        """Insert into the own sliced state; hand the overflow to the next slice."""
+        state = self._states[tup.stream]
+        state.append(tup)
+        emissions: list[Emission] = []
+        if len(state) > self.capacity:
+            self.metrics.count(CostCategory.PURGE)
+            evicted = state.popleft()
+            emissions.append(("next", RefTuple(evicted, FEMALE)))
+        return emissions
+
+    def _opposite(self, stream: str) -> str:
+        if stream == self.left_stream:
+            return self.right_stream
+        if stream == self.right_stream:
+            return self.left_stream
+        raise PlanError(
+            f"join {self.name!r} joins streams "
+            f"{self.left_stream!r}/{self.right_stream!r}, got {stream!r}"
+        )
+
+    def _orient(
+        self, probing: StreamTuple, candidate: StreamTuple
+    ) -> tuple[StreamTuple, StreamTuple]:
+        if probing.stream == self.left_stream:
+            return probing, candidate
+        return candidate, probing
+
+    def describe(self) -> str:
+        return (
+            f"{self.left_stream}[rows {self.rank_start},{self.rank_end}) s⋈ "
+            f"{self.right_stream}[rows {self.rank_start},{self.rank_end}) on "
+            f"{self.condition.describe()}"
+        )

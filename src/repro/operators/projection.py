@@ -1,0 +1,49 @@
+"""Projection operator."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.engine.operator import Emission, Operator
+from repro.streams.tuples import JoinedTuple, Punctuation, StreamTuple
+
+__all__ = ["Projection"]
+
+
+class Projection(Operator):
+    """Projects stream tuples onto a subset of attributes.
+
+    The paper's example queries project ``A.*``; projection does not affect
+    the memory/CPU trade-off studied by the paper, but downstream consumers
+    of the library need it to shape final results.  Joined tuples are
+    projected on their combined payload (attribute names prefixed with the
+    stream name, as produced by :class:`~repro.streams.tuples.JoinedTuple`).
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def __init__(self, attributes: Sequence[str], name: str | None = None) -> None:
+        super().__init__(name)
+        self.attributes = tuple(attributes)
+
+    def process(self, item: Any, port: str) -> list[Emission]:
+        self.metrics.record_invocation(self.name)
+        if isinstance(item, Punctuation):
+            return [("out", item)]
+        if isinstance(item, JoinedTuple):
+            values = item.values
+            projected = {name: values[name] for name in self.attributes if name in values}
+            out = StreamTuple(
+                stream=f"{item.left.stream}x{item.right.stream}",
+                timestamp=item.timestamp,
+                values=projected,
+            )
+            return [("out", out)]
+        projected = {
+            name: item.values[name] for name in self.attributes if name in item.values
+        }
+        return [("out", StreamTuple(item.stream, item.timestamp, projected))]
+
+    def describe(self) -> str:
+        return f"π[{', '.join(self.attributes)}]"

@@ -1,0 +1,65 @@
+"""Result sinks.
+
+Query outputs are normally collected by the executor's named outputs, but a
+:class:`CollectorSink` is handy when callers want an explicit operator at
+the end of a plan (for example to attach a callback or to count results
+without keeping them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.operator import Emission, Operator
+from repro.streams.tuples import Punctuation
+
+__all__ = ["CollectorSink", "CountingSink"]
+
+
+class CollectorSink(Operator):
+    """Stores every received item in a list and forwards it unchanged."""
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def __init__(
+        self,
+        name: str | None = None,
+        callback: Callable[[Any], None] | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.items: list[Any] = []
+        self.callback = callback
+
+    def process(self, item: Any, port: str) -> list[Emission]:
+        self.metrics.record_invocation(self.name)
+        if isinstance(item, Punctuation):
+            return [("out", item)]
+        self.items.append(item)
+        if self.callback is not None:
+            self.callback(item)
+        return [("out", item)]
+
+    def describe(self) -> str:
+        return f"collect ({len(self.items)} items)"
+
+
+class CountingSink(Operator):
+    """Counts received items without retaining them (memory-friendly)."""
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        self.count = 0
+
+    def process(self, item: Any, port: str) -> list[Emission]:
+        self.metrics.record_invocation(self.name)
+        if isinstance(item, Punctuation):
+            return [("out", item)]
+        self.count += 1
+        return [("out", item)]
+
+    def describe(self) -> str:
+        return f"count ({self.count} items)"

@@ -1,0 +1,292 @@
+"""State-sliced window join operators (Section 4 of the paper).
+
+Two operators are implemented:
+
+* :class:`SlicedOneWayJoin` — ``A[Wstart, Wend] s⋉ B`` (Definition 1,
+  execution steps of Figure 6).  Stream A tuples are stored; stream B
+  tuples purge, probe and propagate.  Tuples purged from the state and the
+  propagated B tuples feed the next join in a chain (Definition 2).
+
+* :class:`SlicedBinaryJoin` — ``A[Wstart, Wend] s⋈ B[Wstart, Wend]``
+  (Definition 3, execution steps of Figure 9).  Each raw input tuple is
+  processed as two reference copies: the *male* copy cross-purges the
+  opposite state, probes it and is propagated down the chain; the *female*
+  copy is inserted into its own state and travels down the chain only when
+  purged.  Only female copies occupy state memory, so a chain holds each
+  tuple exactly once — the key memory property behind Theorem 3.
+
+Both operators emit, per processed male/probe tuple, a
+:class:`~repro.streams.tuples.Punctuation` on their ``punct`` port.  A
+punctuation with timestamp ``T`` asserts that every joined result with
+timestamp smaller than ``T`` reachable through this join has already been
+emitted; the order-preserving union uses it to release sorted output
+(Section 4.3 describes this role of the propagated male tuple).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.engine.errors import PlanError
+from repro.engine.metrics import CostCategory
+from repro.engine.operator import Emission, Operator
+from repro.query.predicates import JoinCondition
+from repro.query.windows import WindowSlice
+from repro.streams.tuples import (
+    FEMALE,
+    MALE,
+    JoinedTuple,
+    Punctuation,
+    RefTuple,
+    StreamTuple,
+)
+
+__all__ = ["SlicedOneWayJoin", "SlicedBinaryJoin"]
+
+
+class SlicedOneWayJoin(Operator):
+    """Sliced one-way window join ``A[Wstart, Wend] s⋉ B`` (Definition 1).
+
+    Ports
+    -----
+    * input ``left`` — stream A tuples to be inserted into the sliced state
+      (for the first join of a chain these are the raw arrivals; for later
+      joins they are the tuples purged by the previous join).
+    * input ``right`` — stream B tuples that purge, probe and propagate.
+    * output ``output`` — joined result pairs.
+    * output ``purged`` — A tuples expelled by the cross-purge step,
+      feeding the next join's ``left`` input.
+    * output ``propagated`` — B tuples after probing, feeding the next
+      join's ``right`` input.
+    * output ``punct`` — punctuations carrying the probing tuple's
+      timestamp.
+    """
+
+    input_ports = ("left", "right")
+    output_ports = ("output", "purged", "propagated", "punct")
+
+    def __init__(
+        self,
+        window_start: float,
+        window_end: float,
+        condition: JoinCondition,
+        enforce_bounds: bool = False,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.slice = WindowSlice(window_start, window_end)
+        self.condition = condition
+        #: When True, the probe step re-checks the slice bounds on every
+        #: candidate pair.  Inside a well-formed chain this is redundant
+        #: (Lemma 1) and disabled so the CPU accounting matches the paper.
+        self.enforce_bounds = enforce_bounds
+        self._state: Deque[StreamTuple] = deque()
+
+    # -- state introspection ----------------------------------------------------
+    def _declares_state(self) -> bool:
+        return True
+
+    def state_size(self) -> int:
+        return len(self._state)
+
+    def state_tuples(self) -> list[StreamTuple]:
+        return list(self._state)
+
+    # -- execution (Figure 6) -----------------------------------------------------
+    def process(self, item: Any, port: str) -> list[Emission]:
+        self.metrics.record_invocation(self.name)
+        if isinstance(item, Punctuation):
+            return [("punct", item)]
+        if port == "left":
+            self._state.append(item)
+            return []
+        if port != "right":
+            raise PlanError(f"unexpected port {port!r} for {self.name!r}")
+        emissions: list[Emission] = []
+        # 1. Cross-purge: expel A tuples with Tb - Ta >= Wend.
+        purged, comparisons = self._purge(item.timestamp)
+        self.metrics.count(CostCategory.PURGE, comparisons)
+        for expired in purged:
+            emissions.append(("purged", expired))
+        # 2. Probe: join the arriving B tuple against the remaining state.
+        for candidate in self._state:
+            self.metrics.count(CostCategory.PROBE)
+            if self.enforce_bounds and not self.slice.contains_offset(
+                item.timestamp - candidate.timestamp
+            ):
+                continue
+            if self.condition.matches(candidate, item):
+                emissions.append(("output", JoinedTuple(candidate, item)))
+        # 3. Propagate the B tuple to the next join in the chain.
+        emissions.append(("propagated", item))
+        emissions.append(("punct", Punctuation(item.timestamp, source=self.name)))
+        return emissions
+
+    def _purge(self, now: float) -> tuple[list[StreamTuple], int]:
+        purged: list[StreamTuple] = []
+        comparisons = 0
+        while self._state:
+            comparisons += 1
+            head = self._state[0]
+            if now - head.timestamp >= self.slice.end:
+                purged.append(self._state.popleft())
+            else:
+                break
+        return purged, comparisons
+
+    def describe(self) -> str:
+        return f"A{self.slice.describe()} s⋉ B on {self.condition.describe()}"
+
+
+class SlicedBinaryJoin(Operator):
+    """Sliced binary window join (Definition 3, execution of Figure 9).
+
+    Ports
+    -----
+    * input ``left`` / ``right`` — raw stream tuples; only used by the first
+      join of a chain, which converts each arrival into its male and female
+      reference copies.
+    * input ``chain`` — reference tuples arriving from the previous join of
+      the chain (purged females and propagated males of either stream).
+    * output ``output`` — joined result pairs.
+    * output ``next`` — reference tuples for the next join in the chain.
+    * output ``punct`` — punctuations emitted after a male finishes probing.
+
+    Parameters
+    ----------
+    window_start, window_end:
+        The slice boundaries ``[Wstart, Wend)`` shared by both stream states.
+    condition:
+        Pairwise join condition.
+    left_stream, right_stream:
+        Stream names used to decide which state a reference tuple belongs to.
+    """
+
+    input_ports = ("left", "right", "chain")
+    output_ports = ("output", "next", "punct")
+
+    def __init__(
+        self,
+        window_start: float,
+        window_end: float,
+        condition: JoinCondition,
+        left_stream: str = "A",
+        right_stream: str = "B",
+        enforce_bounds: bool = False,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.slice = WindowSlice(window_start, window_end)
+        self.condition = condition
+        self.left_stream = left_stream
+        self.right_stream = right_stream
+        self.enforce_bounds = enforce_bounds
+        self._states: dict[str, Deque[StreamTuple]] = {
+            left_stream: deque(),
+            right_stream: deque(),
+        }
+
+    # -- state introspection --------------------------------------------------------
+    def _declares_state(self) -> bool:
+        return True
+
+    def state_size(self) -> int:
+        return sum(len(state) for state in self._states.values())
+
+    def state_tuples(self, stream: str) -> list[StreamTuple]:
+        return list(self._states[stream])
+
+    # -- execution (Figure 9) ----------------------------------------------------------
+    def process(self, item: Any, port: str) -> list[Emission]:
+        self.metrics.record_invocation(self.name)
+        if isinstance(item, Punctuation):
+            return [("punct", item)]
+        if port in ("left", "right"):
+            return self._process_arrival(item)
+        if port == "chain":
+            if not isinstance(item, RefTuple):
+                raise PlanError(
+                    f"chain input of {self.name!r} expects reference tuples, got "
+                    f"{type(item).__name__}"
+                )
+            return self._process_reference(item)
+        raise PlanError(f"unexpected port {port!r} for {self.name!r}")
+
+    def _process_arrival(self, tup: StreamTuple) -> list[Emission]:
+        """Handle a raw arrival at the head of the chain.
+
+        The tuple is captured as two reference copies (Section 4.2): the
+        male copy purges/probes/propagates first, then the female copy is
+        inserted into its own sliced state — the same purge, probe, insert
+        order as the regular join of Figure 1.
+        """
+        if tup.stream not in self._states:
+            raise PlanError(
+                f"join {self.name!r} joins streams {sorted(self._states)}, got a "
+                f"tuple of stream {tup.stream!r}"
+            )
+        emissions = self._process_reference(RefTuple(tup, MALE))
+        emissions.extend(self._process_reference(RefTuple(tup, FEMALE)))
+        return emissions
+
+    def _process_reference(self, ref: RefTuple) -> list[Emission]:
+        if ref.is_female():
+            # Insert: the female copy fills its own sliced state.
+            self._states[ref.stream].append(ref.base)
+            return []
+        return self._process_male(ref)
+
+    def _process_male(self, ref: RefTuple) -> list[Emission]:
+        opposite = self._opposite(ref.stream)
+        state = self._states[opposite]
+        emissions: list[Emission] = []
+        # 1. Cross-purge the opposite sliced state with Wend.
+        comparisons = 0
+        while state:
+            comparisons += 1
+            head = state[0]
+            if ref.timestamp - head.timestamp >= self.slice.end:
+                state.popleft()
+                emissions.append(("next", RefTuple(head, FEMALE)))
+            else:
+                break
+        self.metrics.count(CostCategory.PURGE, comparisons)
+        # 2. Probe the opposite sliced state.
+        for candidate in state:
+            self.metrics.count(CostCategory.PROBE)
+            if self.enforce_bounds and not self.slice.contains_offset(
+                ref.timestamp - candidate.timestamp
+            ):
+                continue
+            left, right = self._orient(ref.base, candidate)
+            if self.condition.matches(left, right):
+                emissions.append(("output", JoinedTuple(left, right)))
+        # 3. Propagate the male copy to the next join and punctuate the union.
+        emissions.append(("next", ref))
+        emissions.append(("punct", Punctuation(ref.timestamp, source=self.name)))
+        return emissions
+
+    def _opposite(self, stream: str) -> str:
+        if stream == self.left_stream:
+            return self.right_stream
+        if stream == self.right_stream:
+            return self.left_stream
+        raise PlanError(
+            f"join {self.name!r} joins streams "
+            f"{self.left_stream!r}/{self.right_stream!r}, got {stream!r}"
+        )
+
+    def _orient(
+        self, probing: StreamTuple, candidate: StreamTuple
+    ) -> tuple[StreamTuple, StreamTuple]:
+        """Order a (probing, candidate) pair as (left-stream, right-stream)."""
+        if probing.stream == self.left_stream:
+            return probing, candidate
+        return candidate, probing
+
+    def describe(self) -> str:
+        return (
+            f"{self.left_stream}{self.slice.describe()} s⋈ "
+            f"{self.right_stream}{self.slice.describe()} on {self.condition.describe()}"
+        )

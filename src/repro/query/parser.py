@@ -1,0 +1,235 @@
+"""Parser for the paper's SQL-like continuous query syntax.
+
+The motivating example of the paper writes queries in an SQL dialect with a
+``WINDOW`` clause:
+
+.. code-block:: sql
+
+    SELECT A.* FROM Temperature A, Humidity B
+    WHERE A.LocationId = B.LocationId AND A.Value > 10.0
+    WINDOW 60 min
+
+:func:`parse_query` turns such text into a
+:class:`~repro.query.query.ContinuousQuery`.  The dialect is deliberately
+small — two relations with aliases, an equi-join predicate between the two
+aliases, optional AND-ed comparison filters on either alias, and a window
+clause in seconds, minutes or hours.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.engine.errors import ParseError
+from repro.query.predicates import (
+    ComparisonPredicate,
+    EquiJoinCondition,
+    JoinCondition,
+    Predicate,
+    TruePredicate,
+    conjunction,
+)
+from repro.query.query import ContinuousQuery
+
+__all__ = ["parse_query", "parse_workload_text", "ParsedClauses"]
+
+_WINDOW_UNITS = {
+    "s": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "min": 60.0,
+    "mins": 60.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "h": 3600.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+}
+
+_QUERY_RE = re.compile(
+    r"SELECT\s+(?P<select>.+?)\s+"
+    r"FROM\s+(?P<from>.+?)\s+"
+    r"WHERE\s+(?P<where>.+?)\s+"
+    r"WINDOW\s+(?P<window>.+?)\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_RELATION_RE = re.compile(r"^\s*(?P<stream>\w+)\s+(?P<alias>\w+)\s*$")
+
+_JOIN_RE = re.compile(
+    r"^\s*(?P<lalias>\w+)\.(?P<lattr>\w+)\s*=\s*(?P<ralias>\w+)\.(?P<rattr>\w+)\s*$"
+)
+
+_FILTER_RE = re.compile(
+    r"^\s*(?P<alias>\w+)\.(?P<attr>\w+)\s*(?P<op>>=|<=|!=|=|>|<)\s*(?P<value>[-+]?\d+(?:\.\d+)?)\s*$"
+)
+
+_WINDOW_RE = re.compile(r"^\s*(?P<amount>\d+(?:\.\d+)?)\s*(?P<unit>\w+)?\s*$")
+
+
+@dataclass
+class ParsedClauses:
+    """Intermediate representation of the four clauses of a parsed query."""
+
+    select: str
+    relations: list[tuple[str, str]]
+    conditions: list[str]
+    window_seconds: float
+
+
+def _split_conditions(where: str) -> list[str]:
+    return [part.strip() for part in re.split(r"\s+AND\s+", where, flags=re.IGNORECASE)]
+
+
+def _parse_window(text: str) -> float:
+    match = _WINDOW_RE.match(text.strip())
+    if not match:
+        raise ParseError(f"cannot parse WINDOW clause {text!r}")
+    amount = float(match.group("amount"))
+    unit = (match.group("unit") or "sec").lower()
+    if unit not in _WINDOW_UNITS:
+        raise ParseError(
+            f"unknown window unit {unit!r}; expected one of {sorted(set(_WINDOW_UNITS))}"
+        )
+    return amount * _WINDOW_UNITS[unit]
+
+
+def _parse_clauses(text: str) -> ParsedClauses:
+    normalized = " ".join(text.strip().split())
+    match = _QUERY_RE.match(normalized)
+    if not match:
+        raise ParseError(
+            "query must have the form 'SELECT ... FROM ... WHERE ... WINDOW ...'; "
+            f"got {text!r}"
+        )
+    relations = []
+    for part in match.group("from").split(","):
+        relation_match = _RELATION_RE.match(part)
+        if not relation_match:
+            raise ParseError(f"cannot parse FROM item {part!r}; expected 'Stream Alias'")
+        relations.append((relation_match.group("stream"), relation_match.group("alias")))
+    if len(relations) != 2:
+        raise ParseError(
+            f"exactly two relations are supported (a binary window join); got {len(relations)}"
+        )
+    return ParsedClauses(
+        select=match.group("select").strip(),
+        relations=relations,
+        conditions=_split_conditions(match.group("where")),
+        window_seconds=_parse_window(match.group("window")),
+    )
+
+
+def _comparison_selectivity(op: str) -> float:
+    """Default selectivity estimate when the caller provides none."""
+    return 0.1 if op in ("=", "==") else 0.5
+
+
+def parse_query(
+    text: str,
+    name: str = "Q",
+    filter_selectivity: float | None = None,
+    key_domain: int = 1000,
+) -> ContinuousQuery:
+    """Parse one SQL-like continuous query into a :class:`ContinuousQuery`.
+
+    Parameters
+    ----------
+    text:
+        The query text.
+    name:
+        Name assigned to the resulting query.
+    filter_selectivity:
+        Optional selectivity estimate attached to every parsed filter
+        predicate (the parser cannot know data statistics).
+    key_domain:
+        Domain-size estimate for the equi-join key, used for the join
+        selectivity estimate.
+    """
+    clauses = _parse_clauses(text)
+    (left_stream, left_alias), (right_stream, right_alias) = clauses.relations
+    join_condition: JoinCondition | None = None
+    left_filters: list[Predicate] = []
+    right_filters: list[Predicate] = []
+
+    for condition in clauses.conditions:
+        join_match = _JOIN_RE.match(condition)
+        if join_match:
+            aliases = {join_match.group("lalias"), join_match.group("ralias")}
+            if aliases == {left_alias, right_alias}:
+                if join_condition is not None:
+                    raise ParseError(
+                        f"multiple join predicates are not supported: {condition!r}"
+                    )
+                if join_match.group("lalias") == left_alias:
+                    left_attr, right_attr = join_match.group("lattr"), join_match.group("rattr")
+                else:
+                    left_attr, right_attr = join_match.group("rattr"), join_match.group("lattr")
+                join_condition = EquiJoinCondition(
+                    left_attribute=left_attr,
+                    right_attribute=right_attr,
+                    key_domain=key_domain,
+                )
+                continue
+        filter_match = _FILTER_RE.match(condition)
+        if not filter_match:
+            raise ParseError(f"cannot parse WHERE condition {condition!r}")
+        op = filter_match.group("op")
+        op = "==" if op == "=" else op
+        selectivity = (
+            filter_selectivity
+            if filter_selectivity is not None
+            else _comparison_selectivity(op)
+        )
+        predicate = ComparisonPredicate(
+            attribute=filter_match.group("attr"),
+            op=op,
+            constant=float(filter_match.group("value")),
+            selectivity=selectivity,
+        )
+        alias = filter_match.group("alias")
+        if alias == left_alias:
+            left_filters.append(predicate)
+        elif alias == right_alias:
+            right_filters.append(predicate)
+        else:
+            raise ParseError(
+                f"condition {condition!r} references unknown alias {alias!r}; "
+                f"known aliases: {left_alias!r}, {right_alias!r}"
+            )
+
+    if join_condition is None:
+        raise ParseError("query has no join predicate between the two relations")
+
+    return ContinuousQuery(
+        name=name,
+        window=clauses.window_seconds,
+        join_condition=join_condition,
+        left_filter=conjunction(left_filters) if left_filters else TruePredicate(),
+        right_filter=conjunction(right_filters) if right_filters else TruePredicate(),
+        left_stream=left_stream,
+        right_stream=right_stream,
+    )
+
+
+def parse_workload_text(
+    text: str,
+    filter_selectivity: float | None = None,
+    key_domain: int = 1000,
+) -> list[ContinuousQuery]:
+    """Parse several queries separated by semicolons or blank lines."""
+    chunks = [chunk.strip() for chunk in re.split(r";|\n\s*\n", text) if chunk.strip()]
+    if not chunks:
+        raise ParseError("no queries found in workload text")
+    return [
+        parse_query(
+            chunk,
+            name=f"Q{i + 1}",
+            filter_selectivity=filter_selectivity,
+            key_domain=key_domain,
+        )
+        for i, chunk in enumerate(chunks)
+    ]

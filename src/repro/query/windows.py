@@ -1,0 +1,106 @@
+"""Sliding-window specifications.
+
+The paper presents its techniques with time-based sliding windows and notes
+that count-based windows are handled identically.  Both are modelled here.
+
+A :class:`TimeWindow` of size ``W`` keeps a tuple ``a`` alive while a newer
+tuple ``b`` from the opposite stream satisfies ``Tb - Ta < W``.  A
+:class:`CountWindow` of size ``N`` keeps the last ``N`` tuples.
+
+A :class:`WindowSlice` is the half-open interval ``[start, end)`` of
+timestamp offsets assigned to one sliced window join (Definition 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.errors import QueryError
+
+__all__ = ["TimeWindow", "CountWindow", "WindowSlice", "slice_boundaries"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TimeWindow:
+    """A time-based sliding window of ``size`` seconds."""
+
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise QueryError(f"window size must be positive, got {self.size}")
+
+    def contains(self, older_timestamp: float, newer_timestamp: float) -> bool:
+        """True when the older tuple is still inside the window of the newer."""
+        return (newer_timestamp - older_timestamp) < self.size
+
+    def describe(self) -> str:
+        return f"WINDOW {self.size:g} sec"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class CountWindow:
+    """A count-based sliding window holding the most recent ``size`` tuples."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise QueryError(f"window size must be positive, got {self.size}")
+
+    def describe(self) -> str:
+        return f"WINDOW {self.size} rows"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class WindowSlice:
+    """Half-open window range ``[start, end)`` of one sliced join.
+
+    ``start`` and ``end`` are offsets (seconds for time-based windows, ranks
+    for count-based windows) relative to the probing tuple's timestamp.
+    The slice of the first join in a chain always starts at 0
+    (Definition 2).
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise QueryError(f"slice start must be non-negative, got {self.start}")
+        if self.end <= self.start:
+            raise QueryError(
+                f"slice end must exceed start, got [{self.start}, {self.end})"
+            )
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def contains_offset(self, offset: float) -> bool:
+        """True when ``offset = T_probe - T_state`` falls inside the slice."""
+        return self.start <= offset < self.end
+
+    def describe(self) -> str:
+        return f"[{self.start:g}, {self.end:g})"
+
+
+def slice_boundaries(window_sizes: Sequence[float]) -> list[WindowSlice]:
+    """Build the Mem-Opt slice list for a set of query window sizes.
+
+    The returned slices are ``[0, w1), [w1, w2), ..., [w_{N-1}, w_N)`` for the
+    distinct window sizes sorted ascending — one slice per distinct window,
+    exactly the Mem-Opt chain of Section 5.1.
+    """
+    if not window_sizes:
+        raise QueryError("at least one window size is required")
+    distinct = sorted(set(float(w) for w in window_sizes))
+    if distinct[0] <= 0:
+        raise QueryError(f"window sizes must be positive, got {distinct[0]}")
+    slices = []
+    previous = 0.0
+    for size in distinct:
+        slices.append(WindowSlice(previous, size))
+        previous = size
+    return slices

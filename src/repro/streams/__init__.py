@@ -1,0 +1,43 @@
+"""Stream substrate: tuple model, schemas and synthetic generators."""
+
+from repro.streams.generators import (
+    PeriodicArrivals,
+    PoissonArrivals,
+    SelectivityValueGenerator,
+    StreamGenerator,
+    StreamSpec,
+    TwoStreamWorkload,
+    generate_join_workload,
+    interleave,
+)
+from repro.streams.schema import Attribute, Schema, SENSOR_READING_SCHEMA
+from repro.streams.tuples import (
+    FEMALE,
+    MALE,
+    JoinedTuple,
+    Punctuation,
+    RefTuple,
+    StreamTuple,
+    make_tuple,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "SENSOR_READING_SCHEMA",
+    "StreamTuple",
+    "JoinedTuple",
+    "RefTuple",
+    "Punctuation",
+    "MALE",
+    "FEMALE",
+    "make_tuple",
+    "PoissonArrivals",
+    "PeriodicArrivals",
+    "SelectivityValueGenerator",
+    "StreamSpec",
+    "StreamGenerator",
+    "TwoStreamWorkload",
+    "generate_join_workload",
+    "interleave",
+]

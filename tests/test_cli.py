@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_figure_number_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+
+class TestCommands:
+    def test_cost_command(self, capsys):
+        out = run_cli(capsys, "cost", "--rho", "0.25", "--ssigma", "0.2", "--s1", "0.1")
+        assert "state-slice" in out
+        assert "memory vs pull-up" in out
+
+    def test_table_command(self, capsys):
+        out = run_cli(capsys, "table", "2")
+        assert "Queue" in out
+        assert "a1" in out
+
+    def test_chains_command(self, capsys):
+        out = run_cli(
+            capsys,
+            "chains",
+            "--queries",
+            "12",
+            "--windows",
+            "small-large",
+            "--csys",
+            "4.0",
+        )
+        assert "Mem-Opt chain (12 slices)" in out
+        assert "CPU-Opt chain" in out
+
+    def test_compare_command(self, capsys):
+        out = run_cli(
+            capsys,
+            "compare",
+            "--rate",
+            "20",
+            "--time-scale",
+            "0.05",
+            "--s1",
+            "0.1",
+        )
+        assert "state-slice" in out
+        assert "selection-pullup" in out
+
+    def test_figure_11_command(self, capsys):
+        out = run_cli(capsys, "figure", "11")
+        assert "Figure 11(a)" in out
+        assert "S1=0.4" in out
+
+    def test_figure_17_command(self, capsys):
+        out = run_cli(
+            capsys,
+            "figure",
+            "17",
+            "--panels",
+            "b",
+            "--rates",
+            "20",
+            "--time-scale",
+            "0.05",
+        )
+        assert "Figure 17(b)" in out
+        assert "state-slice" in out
+
+    def test_figure_19_command(self, capsys):
+        out = run_cli(
+            capsys,
+            "figure",
+            "19",
+            "--panels",
+            "c",
+            "--rates",
+            "20",
+            "--time-scale",
+            "0.04",
+        )
+        assert "Figure 19(c)" in out
+        assert "slices" in out

@@ -1,0 +1,176 @@
+"""Unit tests for the engine primitives: clock, metrics, queues, operator base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.clock import VirtualClock
+from repro.engine.errors import ExecutionError, PlanError
+from repro.engine.metrics import CostCategory, MetricsCollector, RunReport
+from repro.engine.operator import Operator, PassThrough
+from repro.engine.queues import OperatorQueue
+from repro.streams.tuples import make_tuple
+
+
+class TestVirtualClock:
+    def test_advance_to_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        clock.advance_to(2.5)
+        assert clock.now == 2.5
+        assert clock.elapsed == 2.5
+
+    def test_advance_backwards_raises(self):
+        clock = VirtualClock(start=5.0)
+        with pytest.raises(ExecutionError):
+            clock.advance_to(4.0)
+
+    def test_observe_never_moves_backwards(self):
+        clock = VirtualClock()
+        clock.observe(3.0)
+        clock.observe(1.0)
+        assert clock.now == 3.0
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.observe(9.0)
+        clock.reset(1.0)
+        assert clock.now == 1.0
+        assert clock.elapsed == 0.0
+
+
+class TestMetricsCollector:
+    def test_counts_by_category(self):
+        metrics = MetricsCollector()
+        metrics.count(CostCategory.PROBE, 3)
+        metrics.count(CostCategory.PURGE)
+        metrics.count(CostCategory.PROBE)
+        assert metrics.comparisons[CostCategory.PROBE] == 4
+        assert metrics.total_comparisons == 5
+
+    def test_zero_amount_not_recorded(self):
+        metrics = MetricsCollector()
+        metrics.count(CostCategory.PROBE, 0)
+        assert metrics.total_comparisons == 0
+
+    def test_cpu_cost_includes_system_overhead(self):
+        metrics = MetricsCollector(system_overhead=0.5)
+        metrics.count(CostCategory.PROBE, 10)
+        metrics.record_invocation("op")
+        metrics.record_invocation("op")
+        assert metrics.cpu_cost() == pytest.approx(11.0)
+        assert metrics.cpu_cost(system_overhead=0.0) == pytest.approx(10.0)
+
+    def test_memory_statistics(self):
+        metrics = MetricsCollector()
+        for timestamp, size in [(1.0, 10), (2.0, 20), (3.0, 30), (4.0, 40)]:
+            metrics.sample_memory(timestamp, size)
+        assert metrics.average_state_memory() == pytest.approx(25.0)
+        assert metrics.max_state_memory() == 40
+        assert metrics.steady_state_memory(warmup_fraction=0.5) == pytest.approx(35.0)
+
+    def test_memory_statistics_empty(self):
+        metrics = MetricsCollector()
+        assert metrics.average_state_memory() == 0.0
+        assert metrics.max_state_memory() == 0
+        assert metrics.steady_state_memory() == 0.0
+
+    def test_service_rate(self):
+        metrics = MetricsCollector()
+        metrics.count(CostCategory.PROBE, 100)
+        metrics.record_emission("Q1", 20)
+        assert metrics.service_rate() == pytest.approx(0.2)
+
+    def test_service_rate_zero_cost(self):
+        assert MetricsCollector().service_rate() == 0.0
+
+    def test_merge_folds_counters(self):
+        first = MetricsCollector()
+        first.count(CostCategory.PROBE, 5)
+        first.record_emission("Q1", 2)
+        second = MetricsCollector()
+        second.count(CostCategory.PROBE, 7)
+        second.record_invocation("op")
+        second.sample_memory(1.0, 3)
+        first.merge(second)
+        assert first.comparisons[CostCategory.PROBE] == 12
+        assert first.total_invocations == 1
+        assert len(first.memory_samples) == 1
+
+    def test_snapshot_contains_expected_keys(self):
+        metrics = MetricsCollector()
+        snapshot = metrics.snapshot()
+        assert "comparisons.total" in snapshot
+        assert "memory.average" in snapshot
+        assert "service_rate" in snapshot
+
+    def test_run_report_properties(self):
+        metrics = MetricsCollector()
+        metrics.count(CostCategory.PROBE, 10)
+        metrics.record_emission("Q1", 3)
+        report = RunReport(strategy="x", metrics=metrics, results={"Q1": [1, 2, 3]})
+        assert report.total_output == 3
+        assert report.output_counts() == {"Q1": 3}
+        assert report.cpu_cost == 10
+        assert report.summary()["output.total"] == 3.0
+
+
+class TestOperatorQueue:
+    def test_fifo_order(self):
+        queue = OperatorQueue("q")
+        queue.push(1)
+        queue.push(2)
+        queue.extend([3, 4])
+        assert queue.pop() == 1
+        assert queue.peek() == 2
+        assert len(queue) == 3
+        assert list(queue) == [2, 3, 4]
+
+    def test_high_water_mark(self):
+        queue = OperatorQueue()
+        for value in range(5):
+            queue.push(value)
+        queue.pop()
+        queue.pop()
+        assert queue.max_size == 5
+        assert queue.total_enqueued == 5
+
+    def test_empty_queue_behaviour(self):
+        queue = OperatorQueue()
+        assert not queue
+        assert queue.peek() is None
+        queue.push("x")
+        assert queue
+        queue.clear()
+        assert len(queue) == 0
+
+
+class TestOperatorBase:
+    def test_names_are_unique_by_default(self):
+        first = PassThrough()
+        second = PassThrough()
+        assert first.name != second.name
+
+    def test_check_port_rejects_unknown_ports(self):
+        operator = PassThrough(name="p")
+        operator.check_port("in", "input")
+        operator.check_port("out", "output")
+        with pytest.raises(PlanError):
+            operator.check_port("bogus", "input")
+        with pytest.raises(PlanError):
+            operator.check_port("bogus", "output")
+
+    def test_process_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Operator(name="abstract").process(make_tuple("A", 0.0, x=1), "in")
+
+    def test_passthrough_forwards_items(self):
+        operator = PassThrough(name="p")
+        tup = make_tuple("A", 0.0, x=1)
+        assert operator.process(tup, "in") == [("out", tup)]
+
+    def test_default_state_is_empty(self):
+        operator = PassThrough(name="p")
+        assert operator.state_size() == 0
+        assert not operator.is_stateful()
+        assert operator.flush() == []

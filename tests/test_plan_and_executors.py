@@ -1,0 +1,193 @@
+"""Unit tests for the query plan DAG and the two executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.errors import ExecutionError, PlanError
+from repro.engine.executor import ImmediateExecutor, execute_plan
+from repro.engine.metrics import MetricsCollector
+from repro.engine.operator import PassThrough
+from repro.engine.plan import QueryPlan
+from repro.engine.scheduler import RoundRobinScheduler, ScheduledExecutor
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.selection import Selection
+from repro.query.predicates import CrossProductCondition, attribute_gt
+from repro.streams.generators import generate_join_workload
+from repro.streams.tuples import make_tuple
+from tests.conftest import joined_keys, regular_join_reference
+
+
+def simple_plan() -> QueryPlan:
+    """A -> selection -> join <- B, output 'Q'."""
+    plan = QueryPlan("simple")
+    selection = Selection(attribute_gt("value", 0.25, 0.75), name="sel")
+    join = SlidingWindowJoin(2.0, 2.0, CrossProductCondition(), name="join")
+    plan.add_operators([selection, join])
+    plan.add_entry("A", selection, "in")
+    plan.add_entry("B", join, "right")
+    plan.connect(selection, "out", join, "left")
+    plan.add_output("Q", join, "output")
+    return plan
+
+
+class TestQueryPlan:
+    def test_duplicate_operator_name_rejected(self):
+        plan = QueryPlan()
+        plan.add_operator(PassThrough(name="x"))
+        with pytest.raises(PlanError):
+            plan.add_operator(PassThrough(name="x"))
+
+    def test_connect_validates_ports(self):
+        plan = QueryPlan()
+        a = plan.add_operator(PassThrough(name="a"))
+        b = plan.add_operator(PassThrough(name="b"))
+        with pytest.raises(PlanError):
+            plan.connect(a, "bogus", b, "in")
+        with pytest.raises(PlanError):
+            plan.connect(a, "out", b, "bogus")
+        plan.connect(a, "out", b, "in")
+        assert len(plan.edges) == 1
+
+    def test_unknown_operator_lookup(self):
+        plan = QueryPlan("p")
+        with pytest.raises(PlanError):
+            plan.operator("missing")
+
+    def test_duplicate_output_name_rejected(self):
+        plan = QueryPlan()
+        a = plan.add_operator(PassThrough(name="a"))
+        plan.add_output("Q", a, "out")
+        with pytest.raises(PlanError):
+            plan.add_output("Q", a, "out")
+
+    def test_validate_requires_entries_and_outputs(self):
+        plan = QueryPlan()
+        a = plan.add_operator(PassThrough(name="a"))
+        with pytest.raises(PlanError):
+            plan.validate()
+        plan.add_entry("A", a, "in")
+        with pytest.raises(PlanError):
+            plan.validate()
+        plan.add_output("Q", a, "out")
+        plan.validate()
+
+    def test_validate_detects_cycles(self):
+        plan = QueryPlan()
+        a = plan.add_operator(PassThrough(name="a"))
+        b = plan.add_operator(PassThrough(name="b"))
+        plan.connect(a, "out", b, "in")
+        plan.connect(b, "out", a, "in")
+        plan.add_entry("A", a, "in")
+        plan.add_output("Q", b, "out")
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_validate_detects_disconnected_operators(self):
+        plan = QueryPlan()
+        a = plan.add_operator(PassThrough(name="a"))
+        plan.add_operator(PassThrough(name="orphan"))
+        plan.add_entry("A", a, "in")
+        plan.add_output("Q", a, "out")
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_topological_order(self):
+        plan = simple_plan()
+        order = [op.name for op in plan.topological_order()]
+        assert order.index("sel") < order.index("join")
+
+    def test_describe_mentions_every_operator(self):
+        plan = simple_plan()
+        text = plan.describe()
+        assert "sel" in text and "join" in text and "Q" in text
+
+    def test_downstream_upstream_and_outputs_at(self):
+        plan = simple_plan()
+        assert len(plan.downstream("sel", "out")) == 1
+        assert len(plan.upstream("join", "left")) == 1
+        assert plan.outputs_at("join", "output")[0].name == "Q"
+
+    def test_total_state_size_counts_join_states(self):
+        plan = simple_plan()
+        executor = ImmediateExecutor(plan)
+        executor.process_arrival(make_tuple("A", 0.0, value=0.9))
+        executor.process_arrival(make_tuple("B", 0.5, value=0.9))
+        assert plan.total_state_size() == 2
+
+
+class TestImmediateExecutor:
+    def test_unknown_stream_raises(self):
+        executor = ImmediateExecutor(simple_plan())
+        with pytest.raises(ExecutionError):
+            executor.process_arrival(make_tuple("C", 0.0, value=1.0))
+
+    def test_selection_filters_left_inputs(self):
+        plan = simple_plan()
+        tuples = [
+            make_tuple("A", 0.0, value=0.1),   # filtered out
+            make_tuple("A", 0.5, value=0.9),   # kept
+            make_tuple("B", 1.0, value=0.5),   # joins with the kept tuple only
+        ]
+        report = execute_plan(plan, tuples)
+        assert len(report.results["Q"]) == 1
+
+    def test_results_match_reference_join(self, small_stream_data):
+        plan = simple_plan()
+        report = execute_plan(plan, small_stream_data.tuples)
+        reference = regular_join_reference(
+            small_stream_data.tuples,
+            window=2.0,
+            condition=CrossProductCondition(),
+            left_filter=attribute_gt("value", 0.25),
+        )
+        assert joined_keys(report.results["Q"]) == reference
+
+    def test_retain_results_false_only_counts(self, small_stream_data):
+        plan = simple_plan()
+        report = execute_plan(plan, small_stream_data.tuples, retain_results=False)
+        assert report.results["Q"] == []
+        assert report.metrics.emitted["Q"] > 0
+
+    def test_memory_sampling_interval(self, small_stream_data):
+        plan = simple_plan()
+        dense = execute_plan(plan, small_stream_data.tuples, memory_sample_interval=1)
+        sparse = execute_plan(simple_plan(), small_stream_data.tuples, memory_sample_interval=10)
+        assert len(dense.metrics.memory_samples) > len(sparse.metrics.memory_samples)
+
+    def test_duration_is_last_timestamp(self):
+        plan = simple_plan()
+        tuples = [make_tuple("A", 0.5, value=0.9), make_tuple("B", 2.25, value=0.9)]
+        report = execute_plan(plan, tuples)
+        assert report.duration == pytest.approx(2.25)
+
+
+class TestScheduledExecutor:
+    def test_round_robin_scheduler_cycles(self):
+        scheduler = RoundRobinScheduler(["a", "b", "c"])
+        picks = [scheduler.next_operator() for _ in range(5)]
+        assert picks == ["a", "b", "c", "a", "b"]
+
+    def test_scheduled_matches_immediate_results(self):
+        data = generate_join_workload(rate_a=10, rate_b=10, duration=5.0, seed=4)
+        immediate = execute_plan(simple_plan(), data.tuples)
+        scheduled = ScheduledExecutor(
+            simple_plan(), invocations_per_arrival=2, batch_size=1
+        ).run(data.tuples)
+        assert joined_keys(scheduled.results["Q"]) == joined_keys(immediate.results["Q"])
+
+    def test_queue_memory_tracks_buffered_items(self):
+        data = generate_join_workload(rate_a=20, rate_b=20, duration=3.0, seed=4)
+        executor = ScheduledExecutor(
+            simple_plan(), invocations_per_arrival=1, batch_size=1
+        )
+        executor.run(data.tuples)
+        assert executor.max_queue_memory() > 0
+        assert executor.queue_memory() == 0  # fully drained at the end
+
+    def test_metrics_shared_with_plan(self):
+        metrics = MetricsCollector()
+        executor = ScheduledExecutor(simple_plan(), metrics=metrics)
+        data = generate_join_workload(rate_a=10, rate_b=10, duration=2.0, seed=4)
+        executor.run(data.tuples)
+        assert metrics.total_comparisons > 0

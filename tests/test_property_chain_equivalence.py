@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the core equivalence theorems.
+
+These are the paper's Theorems 1-3 checked over randomly generated streams
+and randomly chosen slicings:
+
+* the union of a chain's slice outputs equals the regular sliding-window
+  join, for any slicing of the window;
+* the slice states are pairwise disjoint at all times, and their total size
+  equals the single join's state (Theorem 3);
+* online migration (split/merge at random points) never changes the answer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chain import SlicedJoinChain
+from repro.operators.join import SlidingWindowJoin
+from repro.query.predicates import CrossProductCondition, ModularMatchCondition
+from repro.streams.tuples import make_tuple
+from tests.conftest import joined_keys, regular_join_reference
+
+
+# ---------------------------------------------------------------------------
+# Stream and slicing generators
+# ---------------------------------------------------------------------------
+@st.composite
+def stream_events(draw, max_events: int = 40):
+    """A timestamp-ordered sequence of A/B arrivals with small payloads."""
+    count = draw(st.integers(min_value=2, max_value=max_events))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=0.8, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    streams = draw(
+        st.lists(st.sampled_from(["A", "B"]), min_size=count, max_size=count)
+    )
+    keys = draw(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=count, max_size=count)
+    )
+    tuples = []
+    now = 0.0
+    for gap, stream, key in zip(gaps, streams, keys):
+        now += gap
+        tuples.append(make_tuple(stream, now, join_key=key, value=key / 7.0))
+    return tuples
+
+
+@st.composite
+def slicings(draw, max_window: float = 3.0):
+    """A chain boundary list [0, ..., W] with 1-4 slices."""
+    cuts = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=max_window - 0.05, allow_nan=False),
+            min_size=0,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return [0.0] + sorted(cuts) + [max_window]
+
+
+def condition_for(flag: bool):
+    if flag:
+        return CrossProductCondition()
+    return ModularMatchCondition(threshold=3, domain=7, attribute="join_key")
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(tuples=stream_events(), boundaries=slicings(), cross=st.booleans())
+def test_chain_union_equals_regular_join(tuples, boundaries, cross):
+    condition = condition_for(cross)
+    chain = SlicedJoinChain(boundaries, condition)
+    results = [joined for _, joined in chain.process_all(tuples)]
+    reference = regular_join_reference(
+        tuples, window=boundaries[-1], condition=condition
+    )
+    assert joined_keys(results) == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(tuples=stream_events(), boundaries=slicings())
+def test_states_disjoint_and_memory_equals_single_join(tuples, boundaries):
+    condition = CrossProductCondition()
+    chain = SlicedJoinChain(boundaries, condition)
+    single = SlidingWindowJoin(boundaries[-1], boundaries[-1], condition)
+    for tup in tuples:
+        chain.process(tup)
+        port = "left" if tup.stream == "A" else "right"
+        single.process(tup, port)
+        assert chain.states_are_disjoint()
+        assert chain.state_size() == single.state_size()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tuples=stream_events(),
+    split_at=st.floats(min_value=0.1, max_value=2.9, allow_nan=False),
+    split_index=st.integers(min_value=0, max_value=100),
+)
+def test_migration_split_preserves_answers(tuples, split_at, split_index):
+    condition = CrossProductCondition()
+    window = 3.0
+    chain = SlicedJoinChain([0.0, window], condition)
+    when = split_index % max(1, len(tuples))
+    results = []
+    for index, tup in enumerate(tuples):
+        if index == when:
+            chain.split_slice(0, split_at)
+        results.extend(joined for _, joined in chain.process(tup))
+    reference = regular_join_reference(tuples, window=window, condition=condition)
+    assert joined_keys(results) == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tuples=stream_events(),
+    cut=st.floats(min_value=0.2, max_value=2.8, allow_nan=False),
+    merge_index=st.integers(min_value=0, max_value=100),
+)
+def test_migration_merge_preserves_answers(tuples, cut, merge_index):
+    condition = CrossProductCondition()
+    window = 3.0
+    chain = SlicedJoinChain([0.0, cut, window], condition)
+    when = merge_index % max(1, len(tuples))
+    results = []
+    for index, tup in enumerate(tuples):
+        if index == when:
+            chain.merge_slices(0)
+        results.extend(joined for _, joined in chain.process(tup))
+    reference = regular_join_reference(tuples, window=window, condition=condition)
+    assert joined_keys(results) == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(tuples=stream_events(), boundaries=slicings())
+def test_chain_results_never_duplicate(tuples, boundaries):
+    chain = SlicedJoinChain(boundaries, CrossProductCondition())
+    keys = joined_keys(joined for _, joined in chain.process_all(tuples))
+    assert len(keys) == len(set(keys))

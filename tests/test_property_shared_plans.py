@@ -1,0 +1,134 @@
+"""Property-based tests for executable shared plans.
+
+For randomly generated workloads (windows, selectivities) and random
+streams, every sharing strategy must return exactly the per-query answers of
+the brute-force reference join, and the state-slice plan's answers must be
+insensitive to whether selections are pushed into the chain.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.pullup import build_pullup_plan
+from repro.baselines.pushdown import build_pushdown_plan
+from repro.baselines.unshared import build_unshared_plan
+from repro.core.plan_builder import build_state_slice_plan
+from repro.engine.executor import execute_plan
+from repro.query.predicates import selectivity_filter, selectivity_join
+from repro.query.query import ContinuousQuery, QueryWorkload
+from repro.streams.tuples import make_tuple
+from tests.conftest import joined_keys, regular_join_reference
+
+
+@st.composite
+def random_streams(draw, max_events: int = 30):
+    count = draw(st.integers(min_value=4, max_value=max_events))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.02, max_value=0.5, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    streams = draw(st.lists(st.sampled_from(["A", "B"]), min_size=count, max_size=count))
+    keys = draw(
+        st.lists(st.integers(min_value=0, max_value=999), min_size=count, max_size=count)
+    )
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    now = 0.0
+    tuples = []
+    for gap, stream, key, value in zip(gaps, streams, keys, values):
+        now += gap
+        tuples.append(make_tuple(stream, now, join_key=key, value=value))
+    return tuples
+
+
+@st.composite
+def random_workloads(draw):
+    window_count = draw(st.integers(min_value=1, max_value=4))
+    windows = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.2, max_value=4.0, allow_nan=False),
+                min_size=window_count,
+                max_size=window_count,
+                unique=True,
+            )
+        )
+    )
+    join_selectivity = draw(st.sampled_from([0.1, 0.3, 1.0]))
+    filter_selectivity = draw(st.sampled_from([0.3, 0.6, 1.0]))
+    condition = selectivity_join(join_selectivity)
+    queries = []
+    for index, window in enumerate(windows):
+        left_filter = (
+            selectivity_filter(filter_selectivity) if index > 0 else selectivity_filter(1.0)
+        )
+        queries.append(
+            ContinuousQuery(
+                name=f"Q{index + 1}",
+                window=window,
+                join_condition=condition,
+                left_filter=left_filter,
+            )
+        )
+    return QueryWorkload(queries)
+
+
+def reference_answers(workload, tuples):
+    return {
+        query.name: regular_join_reference(
+            tuples,
+            window=query.window,
+            condition=query.join_condition,
+            left_filter=query.left_filter,
+            right_filter=query.right_filter,
+        )
+        for query in workload
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=random_workloads(), tuples=random_streams())
+def test_state_slice_plan_matches_reference(workload, tuples):
+    plan = build_state_slice_plan(workload)
+    report = execute_plan(plan, tuples)
+    expected = reference_answers(workload, tuples)
+    for name, keys in expected.items():
+        assert joined_keys(report.results[name]) == keys
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=random_workloads(), tuples=random_streams())
+def test_pushdown_toggle_does_not_change_answers(workload, tuples):
+    with_pushdown = execute_plan(build_state_slice_plan(workload, push_selections=True), tuples)
+    without_pushdown = execute_plan(
+        build_state_slice_plan(workload, push_selections=False), tuples
+    )
+    for name in workload.names():
+        assert joined_keys(with_pushdown.results[name]) == joined_keys(
+            without_pushdown.results[name]
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=random_workloads(), tuples=random_streams())
+def test_all_strategies_agree(workload, tuples):
+    builders = [
+        build_state_slice_plan,
+        build_pullup_plan,
+        build_pushdown_plan,
+        build_unshared_plan,
+    ]
+    reports = [execute_plan(builder(workload), tuples) for builder in builders]
+    expected = reference_answers(workload, tuples)
+    for report in reports:
+        for name, keys in expected.items():
+            assert joined_keys(report.results[name]) == keys

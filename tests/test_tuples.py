@@ -1,0 +1,101 @@
+"""Unit tests for the stream tuple model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.tuples import (
+    FEMALE,
+    MALE,
+    JoinedTuple,
+    Punctuation,
+    RefTuple,
+    StreamTuple,
+    make_tuple,
+)
+
+
+class TestStreamTuple:
+    def test_make_tuple_sets_stream_and_timestamp(self):
+        tup = make_tuple("A", 3.5, x=1, y="v")
+        assert tup.stream == "A"
+        assert tup.timestamp == 3.5
+        assert tup["x"] == 1
+        assert tup["y"] == "v"
+
+    def test_getitem_missing_attribute_raises(self):
+        tup = make_tuple("A", 0.0, x=1)
+        with pytest.raises(KeyError):
+            tup["missing"]
+
+    def test_get_with_default(self):
+        tup = make_tuple("A", 0.0, x=1)
+        assert tup.get("x") == 1
+        assert tup.get("missing", 42) == 42
+
+    def test_sequence_numbers_are_unique_and_increasing(self):
+        first = make_tuple("A", 0.0, x=1)
+        second = make_tuple("A", 0.0, x=1)
+        assert second.seqno > first.seqno
+
+    def test_with_values_returns_modified_copy(self):
+        tup = make_tuple("A", 1.0, x=1, y=2)
+        updated = tup.with_values(y=99)
+        assert updated["y"] == 99
+        assert updated["x"] == 1
+        assert tup["y"] == 2
+        assert updated.timestamp == tup.timestamp
+
+    def test_age_relative_to_clock(self):
+        tup = make_tuple("A", 2.0, x=1)
+        assert tup.age(5.0) == pytest.approx(3.0)
+
+    def test_attributes_iterates_names(self):
+        tup = make_tuple("A", 0.0, x=1, y=2)
+        assert sorted(tup.attributes()) == ["x", "y"]
+
+
+class TestJoinedTuple:
+    def test_timestamp_is_max_of_components(self):
+        a = make_tuple("A", 1.0, x=1)
+        b = make_tuple("B", 4.0, x=1)
+        assert JoinedTuple(a, b).timestamp == 4.0
+        assert JoinedTuple(b, a).timestamp == 4.0
+
+    def test_values_are_prefixed_with_stream_names(self):
+        a = make_tuple("A", 1.0, x=1)
+        b = make_tuple("B", 2.0, y=7)
+        joined = JoinedTuple(a, b)
+        assert joined.values == {"A.x": 1, "B.y": 7}
+
+    def test_key_identifies_the_pair(self):
+        a = make_tuple("A", 1.0, x=1)
+        b = make_tuple("B", 2.0, x=1)
+        assert JoinedTuple(a, b).key() == (a.seqno, b.seqno)
+
+
+class TestRefTuple:
+    def test_male_and_female_share_the_base_tuple(self):
+        base = make_tuple("A", 1.0, x=1)
+        male = RefTuple(base, MALE)
+        female = RefTuple(base, FEMALE)
+        assert male.is_male() and not male.is_female()
+        assert female.is_female() and not female.is_male()
+        assert male.base is female.base
+        assert male.timestamp == female.timestamp == 1.0
+        assert male.stream == "A"
+        assert male.seqno == base.seqno
+
+    def test_values_delegate_to_base(self):
+        base = make_tuple("A", 1.0, x=5)
+        assert RefTuple(base, MALE).values["x"] == 5
+
+
+class TestPunctuation:
+    def test_carries_timestamp_and_source(self):
+        punct = Punctuation(4.5, source="slice_2")
+        assert punct.timestamp == 4.5
+        assert punct.source == "slice_2"
+
+    def test_default_source_is_empty(self):
+        assert Punctuation(1.0).source == ""
