@@ -23,7 +23,7 @@ from repro.experiments.report import format_table
 from repro.operators.join import SlidingWindowJoin
 from repro.query.predicates import EquiJoinCondition
 from repro.query.query import QueryWorkload, ContinuousQuery
-from repro.query.predicates import selectivity_filter, selectivity_join
+from repro.query.predicates import selectivity_join
 from repro.query.workload import build_workload, multi_query_workload
 from repro.streams.generators import generate_join_workload
 

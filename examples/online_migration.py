@@ -4,12 +4,15 @@ Section 5.3 of the paper describes how a state-slice chain is maintained at
 runtime by two primitives — splitting a slice and merging two adjacent
 slices — without stopping the stream or losing results.
 
-This script drives a :class:`repro.core.SlicedJoinChain` directly:
+This scenario is a first-class API since the :mod:`repro.runtime` layer:
+a :class:`repro.runtime.StreamEngine` owns the live shared chain and
+performs the split/merge migrations itself when queries register and
+deregister.
 
-* it starts with a single query (one slice, window 4 s);
-* a second query with a 2 s window registers mid-stream, so the slice is
-  split at 2 s;
-* later the second query deregisters, so the two slices are merged back;
+* the session starts with a single query Q1 (window 4 s);
+* a second query Q2 with a 2 s window registers mid-stream, so the engine
+  splits the slice at 2 s;
+* later Q2 deregisters, so the engine merges the two slices back;
 * throughout, the produced join results are checked against an
   independently computed reference — nothing is lost or duplicated.
 
@@ -18,7 +21,7 @@ Run with:  python examples/online_migration.py
 
 from __future__ import annotations
 
-from repro import SlicedJoinChain, generate_join_workload
+from repro import StreamEngine, generate_join_workload
 from repro.query import selectivity_join
 
 
@@ -38,40 +41,39 @@ def main() -> None:
     data = generate_join_workload(rate_a=20, rate_b=20, duration=30.0, seed=3)
     tuples = data.tuples
 
-    chain = SlicedJoinChain([0.0, 4.0], condition)
-    print(f"Initial chain (one registered query, window 4 s): {chain.describe()}")
+    engine = StreamEngine(condition, batch_size=32)
+    engine.add_query("Q1", window=4.0)
+    print(f"Initial session (one registered query, window 4 s): {engine.describe()}")
 
     split_at = len(tuples) // 3
     merge_at = 2 * len(tuples) // 3
-    produced = set()
-    q2_results = 0
+    q2_results = None
 
     for index, tup in enumerate(tuples):
         if index == split_at:
-            chain.split_slice(0, 2.0)
+            engine.add_query("Q2", window=2.0)
             print(
                 f"t={tup.timestamp:6.2f}s  Q2 (window 2 s) registered  -> split: "
-                f"{chain.describe()}"
+                f"boundaries {list(engine.boundaries)}"
             )
         if index == merge_at:
-            chain.merge_slices(0)
+            q2_results = engine.remove_query("Q2")
             print(
                 f"t={tup.timestamp:6.2f}s  Q2 deregistered             -> merge: "
-                f"{chain.describe()}"
+                f"boundaries {list(engine.boundaries)}"
             )
-        for slice_index, joined in chain.process(tup):
-            produced.add((joined.left.seqno, joined.right.seqno))
-            # While Q2 is registered its answer is the first slice's output.
-            if split_at <= index < merge_at and slice_index == 0:
-                q2_results += 1
-        assert chain.states_are_disjoint()
+        engine.process(tup)
+    engine.flush()
+    assert engine.states_are_disjoint()
 
+    produced = {(j.left.seqno, j.right.seqno) for j in engine.results("Q1")}
     expected = reference_pairs(tuples, 4.0, condition)
     print()
-    print(f"Join results produced by the chain : {len(produced)}")
+    print(f"Join results delivered to Q1       : {len(produced)}")
     print(f"Reference results for window 4 s   : {len(expected)}")
     print(f"Identical                          : {produced == expected}")
-    print(f"Results delivered to Q2 while it was registered: {q2_results}")
+    print(f"Results delivered to Q2 while it was registered: {len(q2_results)}")
+    print(f"Migrations performed: {[event.kind for event in engine.stats.migrations]}")
     print()
     print(
         "Splitting and merging the slices mid-stream changed neither the result\n"

@@ -16,6 +16,9 @@ The package is organised in layers:
   push-down, online migration and the analytical cost model;
 * :mod:`repro.baselines` — the sharing strategies of the literature that
   the paper compares against;
+* :mod:`repro.runtime` — the live session layer: a :class:`StreamEngine`
+  owns a shared chain and admits/removes queries while the stream runs,
+  migrating slice boundaries online (Section 5.3);
 * :mod:`repro.experiments` — the harness regenerating every figure and
   table of the paper's evaluation.
 
@@ -65,6 +68,7 @@ from repro.query import (
     selectivity_join,
     three_query_workload,
 )
+from repro.runtime import RegisteredQuery, StreamEngine
 from repro.streams import StreamTuple, generate_join_workload, make_tuple
 
 __version__ = "1.0.0"
@@ -94,6 +98,8 @@ __all__ = [
     "execute_plan",
     "ContinuousQuery",
     "QueryWorkload",
+    "RegisteredQuery",
+    "StreamEngine",
     "build_workload",
     "multi_query_workload",
     "three_query_workload",

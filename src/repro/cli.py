@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--ssigma", type=float, default=0.5, help="filter selectivity Sσ")
     compare.add_argument("--time-scale", type=float, default=0.1, help="time scaling factor")
     compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="executor arrival batch size (1 = per-tuple execution)",
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate a figure (11, 17, 18, 19)")
     figure.add_argument("number", type=int, choices=(11, 17, 18, 19))
@@ -96,6 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--rho", type=float, default=0.25, help="window ratio W1/W2")
     cost.add_argument("--ssigma", type=float, default=0.5)
     cost.add_argument("--s1", type=float, default=0.1)
+
+    runtime = subparsers.add_parser(
+        "runtime",
+        help="demo the StreamEngine: online query admission over a live stream",
+    )
+    runtime.add_argument("--rate", type=float, default=20.0, help="tuples/s per stream")
+    runtime.add_argument("--duration", type=float, default=30.0, help="stream seconds")
+    runtime.add_argument("--s1", type=float, default=0.2, help="join selectivity S1")
+    runtime.add_argument("--batch-size", type=int, default=32)
+    runtime.add_argument("--seed", type=int, default=3)
+    runtime.add_argument(
+        "--windows",
+        nargs="*",
+        type=float,
+        default=[4.0, 2.0, 6.0],
+        help="windows of the queries, admitted at evenly spaced points "
+        "starting from the first arrival",
+    )
     return parser
 
 
@@ -111,6 +135,7 @@ def _cmd_compare(args: argparse.Namespace) -> str:
         filter_selectivity=args.ssigma,
         time_scale=args.time_scale,
         seed=args.seed,
+        batch_size=args.batch_size,
     )
     strategies = (
         "unshared",
@@ -243,12 +268,56 @@ def _cmd_cost(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_runtime(args: argparse.Namespace) -> str:
+    from repro.query.predicates import selectivity_join
+    from repro.runtime import StreamEngine
+    from repro.streams.generators import generate_join_workload
+
+    data = generate_join_workload(
+        rate_a=args.rate, rate_b=args.rate, duration=args.duration, seed=args.seed
+    )
+    engine = StreamEngine(selectivity_join(args.s1), batch_size=args.batch_size)
+    tuples = data.tuples
+    windows = args.windows or [4.0]
+    step = max(1, len(tuples) // (len(windows) + 1))
+    admissions = {index * step: window for index, window in enumerate(windows)}
+    lines = [
+        f"StreamEngine demo: {len(tuples)} arrivals, batch size {args.batch_size}",
+        "",
+    ]
+    for index, tup in enumerate(tuples):
+        if index in admissions:
+            window = admissions[index]
+            name = f"Q{len(engine.queries()) + 1}"
+            engine.add_query(name, window)
+            lines.append(
+                f"t={tup.timestamp:7.2f}s  +{name} (window {window:g}s)  "
+                f"boundaries={list(engine.boundaries)}"
+            )
+        engine.process(tup)
+    engine.flush()
+    lines.append("")
+    for query in engine.queries():
+        lines.append(
+            f"{query.name}: window {query.window:g}s, admitted at arrival "
+            f"{query.registered_at}, results {len(engine.results(query.name))}"
+        )
+    lines.append("")
+    lines.append(f"final chain: {engine.describe()}")
+    lines.append(
+        f"state {engine.state_size()} tuples in {engine.slice_count()} slices; "
+        f"migrations: {[event.kind for event in engine.stats.migrations]}"
+    )
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "compare": _cmd_compare,
     "figure": _cmd_figure,
     "table": _cmd_table,
     "chains": _cmd_chains,
     "cost": _cmd_cost,
+    "runtime": _cmd_runtime,
 }
 
 

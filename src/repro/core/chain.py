@@ -26,7 +26,7 @@ from repro.engine.errors import ChainError, MigrationError
 from repro.engine.metrics import MetricsCollector
 from repro.operators.sliced_join import SlicedBinaryJoin
 from repro.query.predicates import JoinCondition
-from repro.streams.tuples import JoinedTuple, Punctuation, RefTuple, StreamTuple
+from repro.streams.tuples import JoinedTuple, StreamTuple
 
 __all__ = ["SlicedJoinChain", "SliceResult"]
 
@@ -111,6 +111,34 @@ class SlicedJoinChain:
                         pending.append((next_index, (nxt_port, nxt_item)))
             # punctuations are dropped: the chain harness returns results
             # directly instead of routing them through a union operator.
+        return results
+
+    def process_batch(self, tuples: Sequence[StreamTuple]) -> list[SliceResult]:
+        """Feed a FIFO batch of arrivals through the chain, slice by slice.
+
+        The head join's raw ports are interchangeable (each arrival is
+        captured as its male/female reference pair from the tuple's own
+        stream), so the whole mixed-stream batch is delivered to it in one
+        ``process_batch`` call; later joins consume the propagated
+        references on their ``chain`` port.  Results are returned in
+        slice-major order: all of slice 0's results for the batch, then
+        slice 1's, and so on — the result *set* is identical to per-tuple
+        processing, and within one slice results keep arrival order.
+        """
+        batch: list[object] = list(tuples)
+        results: list[SliceResult] = []
+        port = "left"
+        for index, join in enumerate(self.joins):
+            if not batch:
+                break
+            next_batch: list[object] = []
+            for out_port, item in join.process_batch(batch, port):
+                if out_port == "output":
+                    results.append((index, item))
+                elif out_port == "next":
+                    next_batch.append(item)
+            batch = next_batch
+            port = "chain"
         return results
 
     def process_all(self, tuples: Sequence[StreamTuple]) -> list[SliceResult]:
@@ -215,6 +243,47 @@ class SlicedJoinChain:
             keep._states[stream] = merged
         keep.slice = type(keep.slice)(keep.slice.start, absorb.slice.end)
         del self.joins[index + 1]
+
+    def append_slice(self, end: float) -> None:
+        """Extend the chain with a new empty tail slice ``[old_end, end)``.
+
+        Used when a query with a window larger than the current chain end
+        registers at runtime: tuples purged off the old tail (previously
+        discarded) now flow into the new slice, so the larger window fills
+        naturally from this point on — the new query sees exactly the
+        results a fresh chain over the remaining stream suffix would see.
+        """
+        old_end = self.joins[-1].slice.end
+        if end <= old_end + 1e-12:
+            raise MigrationError(
+                f"appended boundary {end:g} must exceed the chain end {old_end:g}"
+            )
+        self.joins.append(self._make_join(old_end, end))
+
+    def drop_tail_slice(self) -> None:
+        """Remove the last slice of the chain, discarding its state.
+
+        Used when the largest-window query deregisters: the tail slice holds
+        only tuples too old for every remaining window, so its state can be
+        dropped wholesale without touching the rest of the chain.
+        """
+        if len(self.joins) < 2:
+            raise MigrationError("cannot drop the only slice of a chain")
+        self.joins.pop()
+
+    def slice_index_for_boundary(self, boundary: float) -> int | None:
+        """Index of the slice whose *end* equals ``boundary``, if any."""
+        for index, join in enumerate(self.joins):
+            if abs(join.slice.end - boundary) <= 1e-9:
+                return index
+        return None
+
+    def slice_index_containing(self, boundary: float) -> int | None:
+        """Index of the slice with ``start < boundary < end``, if any."""
+        for index, join in enumerate(self.joins):
+            if join.slice.start + 1e-9 < boundary < join.slice.end - 1e-9:
+                return index
+        return None
 
     def describe(self) -> str:
         parts = [join.slice.describe() for join in self.joins]

@@ -75,8 +75,15 @@ class MetricsCollector:
         if amount:
             self.comparisons[category] += amount
 
-    def record_invocation(self, operator_name: str) -> None:
-        self.invocations[operator_name] += 1
+    def record_invocation(self, operator_name: str, amount: int = 1) -> None:
+        """Record ``amount`` operator invocations.
+
+        Batched operators pass ``amount=len(batch)`` so the simulated system
+        overhead (``Csys`` per invocation) stays identical to per-tuple
+        execution.
+        """
+        if amount:
+            self.invocations[operator_name] += amount
 
     def record_emission(self, output_name: str, amount: int = 1) -> None:
         self.emitted[output_name] += amount

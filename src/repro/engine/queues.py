@@ -40,6 +40,19 @@ class OperatorQueue:
     def pop(self) -> Any:
         return self._items.popleft()
 
+    def pop_run(self, max_items: int) -> list[Any]:
+        """Pop up to ``max_items`` items from the head, preserving FIFO order.
+
+        Batch-aware consumers (the scheduled executor, the runtime engine)
+        use this to hand a whole run to
+        :meth:`~repro.engine.operator.Operator.process_batch` instead of
+        popping one item per invocation.
+        """
+        items = self._items
+        count = min(max_items, len(items))
+        run = [items.popleft() for _ in range(count)]
+        return run
+
     def peek(self) -> Optional[Any]:
         return self._items[0] if self._items else None
 

@@ -143,17 +143,35 @@ class ScheduledExecutor:
 
         Returns the number of items consumed.  Items are consumed from the
         operator's input queues in global timestamp order to respect the
-        ordering assumption of the sliced-join chain.
+        ordering assumption of the sliced-join chain.  Consecutive items
+        from the same port are handed to the operator as one
+        ``process_batch`` run; because plans are acyclic an operator never
+        feeds its own queues, so the port picks are identical to popping one
+        item at a time.
         """
         operator = self.plan.operator(operator_name)
+        ports = operator.input_ports
         consumed = 0
-        for _ in range(self.batch_size):
-            port = self._pick_port(operator_name, operator.input_ports)
+        if len(ports) == 1:
+            # Single input port: the whole scheduling quantum is one run.
+            queue = self.queues[(operator_name, ports[0])]
+            run = queue.pop_run(self.batch_size)
+            if run:
+                consumed = len(run)
+                for out_port, out_item in operator.process_batch(run, ports[0]):
+                    self._route(operator_name, out_port, out_item)
+            return consumed
+        while consumed < self.batch_size:
+            port = self._pick_port(operator_name, ports)
             if port is None:
                 break
-            item = self.queues[(operator_name, port)].pop()
+            queue = self.queues[(operator_name, port)]
+            run = [queue.pop()]
             consumed += 1
-            for out_port, out_item in operator.process(item, port):
+            while consumed < self.batch_size and self._pick_port(operator_name, ports) == port:
+                run.append(queue.pop())
+                consumed += 1
+            for out_port, out_item in operator.process_batch(run, port):
                 self._route(operator_name, out_port, out_item)
         return consumed
 

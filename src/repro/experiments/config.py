@@ -81,6 +81,8 @@ class ExperimentConfig:
     seed: int = 7
     system_overhead: float = 0.25
     memory_sample_interval: int = 4
+    #: Arrival batch size for the executor (1 = per-tuple execution).
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -93,6 +95,8 @@ class ExperimentConfig:
             raise ConfigurationError("duration_windows must exceed 1")
         if self.query_count < 1:
             raise ConfigurationError("query_count must be at least 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
 
     # -- derived settings ---------------------------------------------------
     def windows(self) -> tuple[float, ...]:

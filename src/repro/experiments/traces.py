@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 from repro.operators.sliced_join import SlicedOneWayJoin
 from repro.query.predicates import CrossProductCondition
-from repro.streams.tuples import JoinedTuple, Punctuation, StreamTuple, make_tuple
+from repro.streams.tuples import JoinedTuple, StreamTuple, make_tuple
 
 __all__ = ["TraceRow", "table_2_trace", "table_2_full_outputs", "PAPER_TABLE_2"]
 

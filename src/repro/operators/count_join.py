@@ -24,7 +24,7 @@ Chains of count-sliced joins are managed by
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Iterable
 
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
@@ -75,6 +75,43 @@ class CountWindowJoin(Operator):
             return self._handle(item, from_left=False)
         raise PlanError(f"unexpected port {port!r} for {self.name!r}")
 
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        if port == "left":
+            from_left = True
+        elif port == "right":
+            from_left = False
+        else:
+            raise PlanError(f"unexpected port {port!r} for {self.name!r}")
+        own_state = self._left_state if from_left else self._right_state
+        other_state = self._right_state if from_left else self._left_state
+        own_limit = self.count_left if from_left else self.count_right
+        matches = self.condition.matches
+        emissions: list[Emission] = []
+        append = emissions.append
+        probe_count = 0
+        purge_count = 0
+        for tup in batch:
+            if isinstance(tup, Punctuation):
+                continue
+            probe_count += len(other_state)
+            if from_left:
+                for candidate in other_state:
+                    if matches(tup, candidate):
+                        append(("output", JoinedTuple(tup, candidate)))
+            else:
+                for candidate in other_state:
+                    if matches(candidate, tup):
+                        append(("output", JoinedTuple(candidate, tup)))
+            own_state.append(tup)
+            if len(own_state) > own_limit:
+                purge_count += 1
+                own_state.popleft()
+        self.metrics.record_invocation(self.name, len(batch))
+        self.metrics.count(CostCategory.PROBE, probe_count)
+        self.metrics.count(CostCategory.PURGE, purge_count)
+        return emissions
+
     def _handle(self, tup: StreamTuple, from_left: bool) -> list[Emission]:
         own_state = self._left_state if from_left else self._right_state
         other_state = self._right_state if from_left else self._left_state
@@ -111,6 +148,9 @@ class CountSlicedBinaryJoin(Operator):
 
     input_ports = ("left", "right", "chain")
     output_ports = ("output", "next", "punct")
+    #: Raw arrivals are handled identically on either port (the tuple's own
+    #: stream decides which state it fills).
+    interchangeable_input_ports = ("left", "right")
 
     def __init__(
         self,
@@ -175,6 +215,81 @@ class CountSlicedBinaryJoin(Operator):
                 return self._process_male(item.base)
             return self._process_female(item.base)
         raise PlanError(f"unexpected port {port!r} for {self.name!r}")
+
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        chain_port = port == "chain"
+        if not chain_port and port not in ("left", "right"):
+            raise PlanError(f"unexpected port {port!r} for {self.name!r}")
+        states = self._states
+        capacity = self.capacity
+        left_stream = self.left_stream
+        right_stream = self.right_stream
+        matches = self.condition.matches
+        name = self.name
+        emissions: list[Emission] = []
+        append = emissions.append
+        probe_count = 0
+        purge_count = 0
+
+        def run_male(tup: StreamTuple) -> None:
+            nonlocal probe_count
+            stream = tup.stream
+            if stream == left_stream:
+                opposite_state = states[right_stream]
+            elif stream == right_stream:
+                opposite_state = states[left_stream]
+            else:
+                raise PlanError(
+                    f"join {name!r} joins streams "
+                    f"{left_stream!r}/{right_stream!r}, got {stream!r}"
+                )
+            probe_count += len(opposite_state)
+            if stream == left_stream:
+                for candidate in opposite_state:
+                    if matches(tup, candidate):
+                        append(("output", JoinedTuple(tup, candidate)))
+            else:
+                for candidate in opposite_state:
+                    if matches(candidate, tup):
+                        append(("output", JoinedTuple(candidate, tup)))
+            append(("next", RefTuple(tup, "male")))
+            append(("punct", Punctuation(tup.timestamp, source=name)))
+
+        def run_female(tup: StreamTuple) -> None:
+            nonlocal purge_count
+            state = states[tup.stream]
+            state.append(tup)
+            if len(state) > capacity:
+                purge_count += 1
+                append(("next", RefTuple(state.popleft(), FEMALE)))
+
+        for item in batch:
+            if isinstance(item, Punctuation):
+                append(("punct", item))
+                continue
+            if chain_port:
+                if not isinstance(item, RefTuple):
+                    raise PlanError(
+                        f"chain input of {self.name!r} expects reference tuples, got "
+                        f"{type(item).__name__}"
+                    )
+                if item.is_male():
+                    run_male(item.base)
+                else:
+                    run_female(item.base)
+                continue
+            if item.stream not in states:
+                raise PlanError(
+                    f"join {self.name!r} joins streams {sorted(states)}, got "
+                    f"{item.stream!r}"
+                )
+            run_male(item)
+            run_female(item)
+        self.metrics.record_invocation(name, len(batch))
+        self.metrics.count(CostCategory.PROBE, probe_count)
+        self.metrics.count(CostCategory.PURGE, purge_count)
+        return emissions
 
     def _process_male(self, tup: StreamTuple) -> list[Emission]:
         """Probe the opposite sliced state, then propagate down the chain."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.engine.operator import Emission, Operator
 from repro.streams.tuples import JoinedTuple, Punctuation, StreamTuple
@@ -44,6 +44,34 @@ class Projection(Operator):
             name: item.values[name] for name in self.attributes if name in item.values
         }
         return [("out", StreamTuple(item.stream, item.timestamp, projected))]
+
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        attributes = self.attributes
+        emissions: list[Emission] = []
+        append = emissions.append
+        for item in batch:
+            if isinstance(item, Punctuation):
+                append(("out", item))
+            elif isinstance(item, JoinedTuple):
+                values = item.values
+                projected = {name: values[name] for name in attributes if name in values}
+                append(
+                    (
+                        "out",
+                        StreamTuple(
+                            stream=f"{item.left.stream}x{item.right.stream}",
+                            timestamp=item.timestamp,
+                            values=projected,
+                        ),
+                    )
+                )
+            else:
+                values = item.values
+                projected = {name: values[name] for name in attributes if name in values}
+                append(("out", StreamTuple(item.stream, item.timestamp, projected)))
+        self.metrics.record_invocation(self.name, len(batch))
+        return emissions
 
     def describe(self) -> str:
         return f"π[{', '.join(self.attributes)}]"

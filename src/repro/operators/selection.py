@@ -15,7 +15,7 @@ Three variants are provided:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
@@ -49,6 +49,23 @@ class Selection(Operator):
         if self.predicate.matches(item):
             return [("out", item)]
         return []
+
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        matches = self.predicate.matches
+        emissions: list[Emission] = []
+        append = emissions.append
+        evaluated = 0
+        for item in batch:
+            if isinstance(item, Punctuation):
+                append(("out", item))
+                continue
+            evaluated += 1
+            if matches(item):
+                append(("out", item))
+        self.metrics.record_invocation(self.name, len(batch))
+        self.metrics.count(CostCategory.SELECT, evaluated)
+        return emissions
 
     def describe(self) -> str:
         return f"σ[{self.predicate.describe()}]"
@@ -99,6 +116,31 @@ class StreamFilter(Operator):
             return []
         return [("out", item)]
 
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        matches = self.predicate.matches
+        stream = self.stream
+        emissions: list[Emission] = []
+        append = emissions.append
+        evaluated = 0
+        for item in batch:
+            if isinstance(item, Punctuation):
+                append(("out", item))
+            elif isinstance(item, RefTuple) and item.stream == stream:
+                if item.is_male():
+                    evaluated += 1
+                if matches(item.base):
+                    append(("out", item))
+            elif not isinstance(item, RefTuple) and getattr(item, "stream", None) == stream:
+                evaluated += 1
+                if matches(item):
+                    append(("out", item))
+            else:
+                append(("out", item))
+        self.metrics.record_invocation(self.name, len(batch))
+        self.metrics.count(CostCategory.SELECT, evaluated)
+        return emissions
+
     def describe(self) -> str:
         return f"σ[{self.stream}: {self.predicate.describe()}] (in-chain)"
 
@@ -124,6 +166,8 @@ class JoinedFilter(Operator):
         super().__init__(name)
         self.left_predicate = left_predicate or TruePredicate()
         self.right_predicate = right_predicate or TruePredicate()
+        self._check_left = not isinstance(self.left_predicate, TruePredicate)
+        self._check_right = not isinstance(self.right_predicate, TruePredicate)
 
     def process(self, item: Any, port: str) -> list[Emission]:
         self.metrics.record_invocation(self.name)
@@ -140,6 +184,32 @@ class JoinedFilter(Operator):
             if not self.right_predicate.matches(item.right):
                 return []
         return [("out", item)]
+
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        check_left = self._check_left
+        check_right = self._check_right
+        left_matches = self.left_predicate.matches
+        right_matches = self.right_predicate.matches
+        emissions: list[Emission] = []
+        append = emissions.append
+        evaluated = 0
+        for item in batch:
+            if isinstance(item, Punctuation) or not isinstance(item, JoinedTuple):
+                append(("out", item))
+                continue
+            if check_left:
+                evaluated += 1
+                if not left_matches(item.left):
+                    continue
+            if check_right:
+                evaluated += 1
+                if not right_matches(item.right):
+                    continue
+            append(("out", item))
+        self.metrics.record_invocation(self.name, len(batch))
+        self.metrics.count(CostCategory.SELECT, evaluated)
+        return emissions
 
     def describe(self) -> str:
         return (

@@ -9,7 +9,7 @@ workloads with several distinct selections.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
@@ -43,6 +43,23 @@ class Split(Operator):
             return [("match", item)]
         return [("rest", item)]
 
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        matches = self.predicate.matches
+        emissions: list[Emission] = []
+        append = emissions.append
+        evaluated = 0
+        for item in batch:
+            if isinstance(item, Punctuation):
+                append(("match", item))
+                append(("rest", item))
+                continue
+            evaluated += 1
+            append(("match", item) if matches(item) else ("rest", item))
+        self.metrics.record_invocation(self.name, len(batch))
+        self.metrics.count(CostCategory.SPLIT, evaluated)
+        return emissions
+
     def describe(self) -> str:
         return f"split[{self.predicate.describe()}]"
 
@@ -72,6 +89,9 @@ class MultiSplit(Operator):
         if len(ports) != len(set(ports)):
             raise PlanError(f"duplicate ports in MultiSplit routes: {ports}")
         self.output_ports = tuple(ports) + ("rest",)
+        self._compiled = [
+            (out_port, predicate.matches) for out_port, predicate in self.routes
+        ]
 
     def process(self, item: Any, port: str) -> list[Emission]:
         self.metrics.record_invocation(self.name)
@@ -82,6 +102,29 @@ class MultiSplit(Operator):
             if predicate.matches(item):
                 return [(out_port, item)]
         return [("rest", item)]
+
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        compiled = self._compiled
+        all_ports = self.output_ports
+        emissions: list[Emission] = []
+        append = emissions.append
+        evaluated = 0
+        for item in batch:
+            if isinstance(item, Punctuation):
+                for out_port in all_ports:
+                    append((out_port, item))
+                continue
+            for out_port, matches in compiled:
+                evaluated += 1
+                if matches(item):
+                    append((out_port, item))
+                    break
+            else:
+                append(("rest", item))
+        self.metrics.record_invocation(self.name, len(batch))
+        self.metrics.count(CostCategory.SPLIT, evaluated)
+        return emissions
 
     def describe(self) -> str:
         parts = ", ".join(f"{port}:{pred.describe()}" for port, pred in self.routes)

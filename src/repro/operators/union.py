@@ -21,7 +21,7 @@ the propagated "male" tuple of the last sliced join as that progress marker
 from __future__ import annotations
 
 import heapq
-from typing import Any
+from typing import Any, Iterable
 
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
@@ -47,6 +47,10 @@ class OrderedUnion(Operator):
 
     input_ports = ("in",)
     output_ports = ("out",)
+    #: Buffered results are released in timestamp order regardless of which
+    #: upstream delivered them first, so cross-upstream interleaving does not
+    #: change the output (up to timestamp ties).
+    merge_order_sensitive = False
 
     def __init__(self, name: str | None = None) -> None:
         super().__init__(name)
@@ -66,6 +70,25 @@ class OrderedUnion(Operator):
         key = getattr(item, "timestamp", 0.0)
         heapq.heappush(self._heap, (key, self._counter, id(item), item))
         return []
+
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        heap = self._heap
+        push = heapq.heappush
+        counter = self._counter
+        emissions: list[Emission] = []
+        punctuations = 0
+        for item in batch:
+            if isinstance(item, Punctuation):
+                punctuations += 1
+                emissions.extend(self._release(item.timestamp))
+                continue
+            counter += 1
+            push(heap, (getattr(item, "timestamp", 0.0), counter, id(item), item))
+        self._counter = counter
+        self.metrics.record_invocation(self.name, len(batch))
+        self.metrics.count(CostCategory.UNION, punctuations)
+        return emissions
 
     def flush(self) -> list[Emission]:
         emissions: list[Emission] = []
@@ -106,6 +129,15 @@ class BagUnion(Operator):
             return []
         self.metrics.count(CostCategory.UNION)
         return [("out", item)]
+
+    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+        batch = list(items)
+        emissions = [
+            ("out", item) for item in batch if not isinstance(item, Punctuation)
+        ]
+        self.metrics.record_invocation(self.name, len(batch))
+        self.metrics.count(CostCategory.UNION, len(emissions))
+        return emissions
 
     def describe(self) -> str:
         return "union (bag)"

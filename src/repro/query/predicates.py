@@ -21,7 +21,7 @@ them.
 from __future__ import annotations
 
 import operator as _operator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.engine.errors import QueryError

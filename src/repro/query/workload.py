@@ -22,7 +22,6 @@ from typing import Sequence
 
 from repro.engine.errors import ConfigurationError
 from repro.query.predicates import (
-    JoinCondition,
     Predicate,
     TruePredicate,
     selectivity_filter,

@@ -1,0 +1,24 @@
+"""Runtime layer: long-lived stream sessions with online query admission.
+
+The static layers of the package (:mod:`repro.core`, :mod:`repro.engine`)
+build a shared plan once, for a fixed workload, and execute it.  This
+package adds the dynamic half of the paper's story (Section 5.3): a
+:class:`StreamEngine` session owns a live shared sliced-join chain and lets
+continuous queries register and deregister *while the stream is running*,
+migrating the chain incrementally — splitting and merging window slices
+in place — so no in-flight join state is lost or duplicated.
+"""
+
+from repro.runtime.engine import (
+    EngineStats,
+    MigrationEvent,
+    RegisteredQuery,
+    StreamEngine,
+)
+
+__all__ = [
+    "EngineStats",
+    "MigrationEvent",
+    "RegisteredQuery",
+    "StreamEngine",
+]

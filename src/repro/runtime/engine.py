@@ -1,0 +1,411 @@
+"""Batch-aware stream session with online multi-query admission.
+
+:class:`StreamEngine` is the first-class API for the scenario that
+``examples/online_migration.py`` used to hand-roll: a set of window-join
+queries over two streams that *changes while the stream is running*.  The
+engine owns one shared :class:`~repro.core.chain.SlicedJoinChain` and keeps
+it consistent with the registered queries using the paper's online
+migration primitives (Section 5.3):
+
+* ``add_query`` with a window that falls inside an existing slice *splits*
+  that slice at the new boundary;
+* ``add_query`` with a window beyond the chain end *appends* an empty tail
+  slice;
+* ``remove_query`` *merges* the slice ending at the orphaned boundary into
+  its successor (or drops the tail slice when the largest window leaves).
+
+Every migration is a drain-and-splice: the engine first flushes any
+buffered arrival batch (so all inter-slice queues are empty — the drain),
+then rewrites the slice boundaries in place (the splice).  In-flight join
+state is never copied out of the chain, so nothing is lost and nothing is
+duplicated; the equivalence is asserted by
+``tests/test_runtime_engine.py``.
+
+Arrivals are processed through the vectorized
+:meth:`~repro.core.chain.SlicedJoinChain.process_batch` path in batches of
+``batch_size`` (1 = per-tuple).  Per-query results are delivered in
+timestamp order (ties broken by sequence numbers), which makes the output
+independent of the batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.chain import SlicedJoinChain
+from repro.core.cpu_opt import build_cpu_opt_chain
+from repro.core.merge_graph import ChainCostParameters
+from repro.engine.errors import MigrationError, QueryError
+from repro.engine.metrics import MetricsCollector
+from repro.query.predicates import JoinCondition
+from repro.query.query import ContinuousQuery, QueryWorkload
+from repro.streams.tuples import JoinedTuple, StreamTuple
+
+__all__ = ["EngineStats", "MigrationEvent", "RegisteredQuery", "StreamEngine"]
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class RegisteredQuery:
+    """One continuous query currently admitted to a :class:`StreamEngine`."""
+
+    name: str
+    window: float
+    registered_at: int  #: Arrival count at admission time.
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One chain migration performed by the engine (for observability)."""
+
+    kind: str  #: "create" | "split" | "append" | "merge" | "drop-tail" | "teardown"
+    boundary: float
+    arrival_count: int
+    boundaries_after: tuple[float, ...]
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters of one engine session."""
+
+    arrivals: int = 0
+    batches: int = 0
+    results_delivered: int = 0
+    migrations: list[MigrationEvent] = field(default_factory=list)
+
+
+class StreamEngine:
+    """A live shared sliced-join session with online query admission.
+
+    Parameters
+    ----------
+    condition:
+        The pairwise join condition shared by every admitted query (the
+        state-slice sharing precondition, as in
+        :class:`~repro.query.query.QueryWorkload`).
+    left_stream / right_stream:
+        Names of the two input streams.
+    batch_size:
+        Number of arrivals grouped into one chain batch; 1 processes
+        per-tuple.  Results are independent of the batch size.
+    metrics:
+        Optional shared metrics collector for cost accounting.
+    """
+
+    def __init__(
+        self,
+        condition: JoinCondition,
+        left_stream: str = "A",
+        right_stream: str = "B",
+        batch_size: int = 32,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self.condition = condition
+        self.left_stream = left_stream
+        self.right_stream = right_stream
+        self.batch_size = max(1, int(batch_size))
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.stats = EngineStats()
+        self._chain: SlicedJoinChain | None = None
+        self._queries: dict[str, RegisteredQuery] = {}
+        self._results: dict[str, list[JoinedTuple]] = {}
+        self._pending: list[StreamTuple] = []
+        #: Per-slice routing table: ``[(query_name, window_check)]`` where
+        #: ``window_check`` is None when every result of the slice belongs to
+        #: the query outright (slice end <= query window).
+        self._routing: list[list[tuple[str, float | None]]] = []
+
+    # -- admission -------------------------------------------------------------
+    def add_query(self, name: str, window: float) -> RegisteredQuery:
+        """Admit a query while the stream is running.
+
+        The chain is migrated incrementally (split or append); state already
+        resident in the chain is untouched, so the new query immediately
+        sees every stored tuple that falls inside its window — exactly the
+        results of a fresh shared plan over the remaining stream suffix.
+        """
+        if name in self._queries:
+            raise QueryError(f"query {name!r} is already registered")
+        window = float(window)
+        if window <= 0:
+            raise QueryError(f"query {name!r} has non-positive window {window}")
+        self._drain()
+        if self._chain is None:
+            self._chain = SlicedJoinChain(
+                [0.0, window],
+                self.condition,
+                left_stream=self.left_stream,
+                right_stream=self.right_stream,
+                metrics=self.metrics,
+            )
+            self._record_migration("create", window)
+        else:
+            chain = self._chain
+            boundaries = chain.boundaries
+            if window > boundaries[-1] + _EPSILON:
+                chain.append_slice(window)
+                self._record_migration("append", window)
+            elif all(abs(window - b) > _EPSILON for b in boundaries):
+                index = chain.slice_index_containing(window)
+                if index is None:  # pragma: no cover - boundaries are contiguous
+                    raise MigrationError(
+                        f"no slice of {boundaries} contains boundary {window:g}"
+                    )
+                chain.split_slice(index, window)
+                self._record_migration("split", window)
+        query = RegisteredQuery(name, window, self.stats.arrivals)
+        self._queries[name] = query
+        self._results[name] = []
+        self._rebuild_routing()
+        return query
+
+    def remove_query(self, name: str) -> list[JoinedTuple]:
+        """Deregister a query and return the results delivered to it.
+
+        Boundaries no longer needed by any remaining query are merged away
+        (or the tail slice is dropped when the largest window leaves); the
+        remaining queries keep producing exactly the same results.
+        """
+        try:
+            query = self._queries.pop(name)
+        except KeyError:
+            raise QueryError(f"no registered query named {name!r}") from None
+        self._drain()
+        delivered = self._results.pop(name)
+        if not self._queries:
+            self._chain = None
+            self._routing = []
+            self._record_migration("teardown", query.window)
+            return delivered
+        if self._boundary_needed(query.window):
+            self._rebuild_routing()
+            return delivered
+        chain = self._chain
+        assert chain is not None
+        max_window = max(q.window for q in self._queries.values())
+        if query.window > max_window + _EPSILON:
+            # The largest window left: shed the chain's tail beyond the new
+            # largest window (its state is too old for every remaining
+            # query).  A prior rebalance may have merged the new largest
+            # window's boundary away, so re-introduce it with a split first;
+            # the next cross-purges then expel the now-too-old tuples off
+            # the shortened chain end.
+            index = chain.slice_index_containing(max_window)
+            if index is not None:
+                chain.split_slice(index, max_window)
+                self._record_migration("split", max_window)
+            dropped = False
+            while (
+                chain.slice_count() > 1
+                and chain.joins[-1].slice.start >= max_window - _EPSILON
+            ):
+                chain.drop_tail_slice()
+                dropped = True
+            if dropped:
+                self._record_migration("drop-tail", query.window)
+        else:
+            index = chain.slice_index_for_boundary(query.window)
+            if index is not None and index < chain.slice_count() - 1:
+                chain.merge_slices(index)
+                self._record_migration("merge", query.window)
+        self._rebuild_routing()
+        return delivered
+
+    def _boundary_needed(self, window: float) -> bool:
+        return any(
+            abs(query.window - window) <= _EPSILON
+            for query in self._queries.values()
+        )
+
+    # -- execution -------------------------------------------------------------
+    def process(self, tup: StreamTuple) -> None:
+        """Ingest one arriving tuple (buffered until the batch fills)."""
+        self._pending.append(tup)
+        if len(self._pending) >= self.batch_size:
+            self._run_batch()
+
+    def process_many(self, tuples: Iterable[StreamTuple]) -> None:
+        """Ingest a sequence of timestamp-ordered arrivals."""
+        for tup in tuples:
+            self.process(tup)
+
+    def flush(self) -> None:
+        """Process any buffered arrivals immediately (drain the batch)."""
+        self._run_batch()
+
+    def _drain(self) -> None:
+        """The drain step of drain-and-splice: empty the arrival buffer."""
+        self._run_batch()
+
+    def _run_batch(self) -> None:
+        batch = self._pending
+        if not batch:
+            return
+        self._pending = []
+        self.stats.arrivals += len(batch)
+        self.stats.batches += 1
+        self.metrics.record_ingest(len(batch))
+        chain = self._chain
+        if chain is None:
+            return  # No registered queries: arrivals pass through unjoined.
+        routing = self._routing
+        results = self._results
+        block: dict[str, list[JoinedTuple]] = {}
+        for index, joined in chain.process_batch(batch):
+            gap = None
+            for query_name, window in routing[index]:
+                if window is not None:
+                    if gap is None:
+                        gap = abs(joined.left.timestamp - joined.right.timestamp)
+                    if gap >= window:
+                        continue
+                block.setdefault(query_name, []).append(joined)
+        delivered = 0
+        for query_name, items in block.items():
+            # Timestamp-ordered delivery (ties broken by sequence numbers)
+            # makes per-query output independent of the batch size.
+            items.sort(key=lambda j: (j.timestamp, j.left.seqno, j.right.seqno))
+            results[query_name].extend(items)
+            delivered += len(items)
+        self.stats.results_delivered += delivered
+        self.metrics.sample_memory(batch[-1].timestamp, chain.state_size())
+
+    # -- results ---------------------------------------------------------------
+    def results(self, name: str) -> list[JoinedTuple]:
+        """Results delivered to a query so far (buffered arrivals included)."""
+        self._drain()
+        try:
+            return list(self._results[name])
+        except KeyError:
+            raise QueryError(f"no registered query named {name!r}") from None
+
+    def pop_results(self, name: str) -> list[JoinedTuple]:
+        """Return and clear a query's delivered results."""
+        self._drain()
+        try:
+            delivered = self._results[name]
+        except KeyError:
+            raise QueryError(f"no registered query named {name!r}") from None
+        self._results[name] = []
+        return delivered
+
+    # -- adaptive re-slicing ---------------------------------------------------
+    def rebalance(self, params: ChainCostParameters) -> tuple[float, ...]:
+        """Migrate the live chain to the CPU-Opt boundaries for the current
+        workload (Section 5.2/6.2) and return the new boundaries.
+
+        The target chain is found by the shortest-path search over the merge
+        graph; the live chain is then moved there incrementally — splits
+        first (they only need an enclosing slice), merges second — with the
+        usual drain-and-splice discipline, so the session keeps running.
+        """
+        if not self._queries:
+            raise MigrationError("cannot rebalance an engine with no queries")
+        self._drain()
+        workload = self.workload()
+        target = [0.0] + build_cpu_opt_chain(workload, params).boundaries()[1:]
+        chain = self._chain
+        assert chain is not None
+        for boundary in target:
+            if all(abs(boundary - b) > _EPSILON for b in chain.boundaries):
+                index = chain.slice_index_containing(boundary)
+                if index is not None:
+                    chain.split_slice(index, boundary)
+                    self._record_migration("split", boundary)
+        for boundary in list(chain.boundaries[1:-1]):
+            if all(abs(boundary - t) > _EPSILON for t in target):
+                index = chain.slice_index_for_boundary(boundary)
+                if index is not None:
+                    chain.merge_slices(index)
+                    self._record_migration("merge", boundary)
+        self._rebuild_routing()
+        return tuple(chain.boundaries)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def boundaries(self) -> tuple[float, ...]:
+        return tuple(self._chain.boundaries) if self._chain is not None else ()
+
+    def queries(self) -> list[RegisteredQuery]:
+        return sorted(self._queries.values(), key=lambda q: (q.window, q.name))
+
+    def query(self, name: str) -> RegisteredQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise QueryError(f"no registered query named {name!r}") from None
+
+    def workload(self) -> QueryWorkload:
+        """The registered queries as a static :class:`QueryWorkload`."""
+        if not self._queries:
+            raise QueryError("the engine has no registered queries")
+        return QueryWorkload(
+            [
+                ContinuousQuery(
+                    name=query.name,
+                    window=query.window,
+                    join_condition=self.condition,
+                    left_stream=self.left_stream,
+                    right_stream=self.right_stream,
+                )
+                for query in self._queries.values()
+            ]
+        )
+
+    def slice_count(self) -> int:
+        return self._chain.slice_count() if self._chain is not None else 0
+
+    def state_size(self) -> int:
+        return self._chain.state_size() if self._chain is not None else 0
+
+    def states_are_disjoint(self) -> bool:
+        return self._chain.states_are_disjoint() if self._chain is not None else True
+
+    def describe(self) -> str:
+        if self._chain is None:
+            return "StreamEngine (idle: no registered queries)"
+        queries = ", ".join(
+            f"{q.name}[{q.window:g}s]" for q in self.queries()
+        )
+        return f"StreamEngine ({queries}) chain: {self._chain.describe()}"
+
+    # -- internals -------------------------------------------------------------
+    def _rebuild_routing(self) -> None:
+        """Recompute the per-slice result routing after any migration.
+
+        A query taps every slice that starts inside its window; a window
+        check is needed only where the slice extends past the window (a
+        merged or split slice serving a smaller query, the router check of
+        Figure 13(b))."""
+        chain = self._chain
+        if chain is None:
+            self._routing = []
+            return
+        routing: list[list[tuple[str, float | None]]] = []
+        for join in chain.joins:
+            slice_routes: list[tuple[str, float | None]] = []
+            for query in self._queries.values():
+                if join.slice.end <= query.window + _EPSILON:
+                    slice_routes.append((query.name, None))
+                elif join.slice.start < query.window - _EPSILON:
+                    slice_routes.append((query.name, query.window))
+            routing.append(slice_routes)
+        self._routing = routing
+
+    def _record_migration(self, kind: str, boundary: float) -> None:
+        self.stats.migrations.append(
+            MigrationEvent(
+                kind=kind,
+                boundary=boundary,
+                arrival_count=self.stats.arrivals,
+                boundaries_after=self.boundaries,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<StreamEngine queries={len(self._queries)} "
+            f"slices={self.slice_count()} arrivals={self.stats.arrivals}>"
+        )

@@ -14,7 +14,7 @@ from repro.query.predicates import (
 )
 from repro.query.query import ContinuousQuery, QueryWorkload
 from repro.streams.generators import generate_join_workload
-from repro.streams.tuples import JoinedTuple, StreamTuple, make_tuple
+from repro.streams.tuples import JoinedTuple, make_tuple
 
 
 # ---------------------------------------------------------------------------

@@ -22,8 +22,8 @@ from repro.core.merge_graph import (
 )
 from repro.core.slices import ChainSpec, SliceSpec
 from repro.engine.errors import ChainError
-from repro.query.predicates import selectivity_filter, selectivity_join
-from repro.query.query import ContinuousQuery, QueryWorkload, workload_from_windows
+from repro.query.predicates import selectivity_join
+from repro.query.query import workload_from_windows
 from repro.query.workload import build_workload, multi_query_workload
 
 

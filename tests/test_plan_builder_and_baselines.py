@@ -19,9 +19,8 @@ from repro.operators.router import Router
 from repro.operators.selection import StreamFilter
 from repro.operators.sliced_join import SlicedBinaryJoin
 from repro.operators.union import OrderedUnion
-from repro.query.predicates import TruePredicate, selectivity_filter, selectivity_join
+from repro.query.predicates import selectivity_filter, selectivity_join
 from repro.query.query import ContinuousQuery, QueryWorkload, workload_from_windows
-from repro.streams.generators import generate_join_workload
 from tests.conftest import joined_keys, regular_join_reference
 
 

@@ -1,0 +1,338 @@
+"""StreamEngine: online query admission over a live shared chain.
+
+The central property (the migration-equivalence guarantee of Section 5.3):
+registering or deregistering a query mid-stream, which splits/merges the
+live slice boundaries, must deliver to every query exactly the results a
+fresh shared plan over the same stream suffix would deliver — nothing lost,
+nothing duplicated — and the delivered output must be independent of the
+engine's batch size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.merge_graph import ChainCostParameters
+from repro.engine.errors import MigrationError, QueryError
+from repro.query.predicates import selectivity_join
+from repro.runtime import StreamEngine
+from repro.streams.generators import generate_join_workload
+
+CONDITION = selectivity_join(0.2)
+
+
+def reference_pairs(tuples, window, later_range=None):
+    """Brute-force suffix reference: pairs with |Ta-Tb| < window whose
+    *later* tuple arrives inside ``later_range`` (arrival index interval)."""
+    indexed = list(enumerate(tuples))
+    pairs = set()
+    for index_a, a in indexed:
+        if a.stream != "A":
+            continue
+        for index_b, b in indexed:
+            if b.stream != "B":
+                continue
+            if abs(a.timestamp - b.timestamp) >= window:
+                continue
+            if not CONDITION.matches(a, b):
+                continue
+            later = max(index_a, index_b)
+            if later_range is not None and not (
+                later_range[0] <= later < later_range[1]
+            ):
+                continue
+            pairs.add((a.seqno, b.seqno))
+    return pairs
+
+
+def delivered_pairs(results):
+    return [(j.left.seqno, j.right.seqno) for j in results]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_join_workload(rate_a=15, rate_b=15, duration=24.0, seed=3).tuples
+
+
+class TestAdmission:
+    def test_first_query_creates_chain(self):
+        engine = StreamEngine(CONDITION)
+        assert engine.slice_count() == 0
+        engine.add_query("Q1", 4.0)
+        assert engine.boundaries == (0.0, 4.0)
+        assert engine.stats.migrations[-1].kind == "create"
+
+    def test_smaller_window_splits(self):
+        engine = StreamEngine(CONDITION)
+        engine.add_query("Q1", 4.0)
+        engine.add_query("Q2", 2.0)
+        assert engine.boundaries == (0.0, 2.0, 4.0)
+        assert engine.stats.migrations[-1].kind == "split"
+
+    def test_larger_window_appends(self):
+        engine = StreamEngine(CONDITION)
+        engine.add_query("Q1", 4.0)
+        engine.add_query("Q2", 6.0)
+        assert engine.boundaries == (0.0, 4.0, 6.0)
+        assert engine.stats.migrations[-1].kind == "append"
+
+    def test_duplicate_window_needs_no_migration(self):
+        engine = StreamEngine(CONDITION)
+        engine.add_query("Q1", 4.0)
+        engine.add_query("Q2", 4.0)
+        assert engine.boundaries == (0.0, 4.0)
+        assert [event.kind for event in engine.stats.migrations] == ["create"]
+
+    def test_duplicate_name_rejected(self):
+        engine = StreamEngine(CONDITION)
+        engine.add_query("Q1", 4.0)
+        with pytest.raises(QueryError):
+            engine.add_query("Q1", 2.0)
+
+    def test_unknown_query_rejected(self):
+        engine = StreamEngine(CONDITION)
+        with pytest.raises(QueryError):
+            engine.remove_query("missing")
+        with pytest.raises(QueryError):
+            engine.results("missing")
+
+    def test_remove_interior_boundary_merges(self):
+        engine = StreamEngine(CONDITION)
+        engine.add_query("Q1", 4.0)
+        engine.add_query("Q2", 2.0)
+        engine.remove_query("Q2")
+        assert engine.boundaries == (0.0, 4.0)
+        assert engine.stats.migrations[-1].kind == "merge"
+
+    def test_remove_largest_drops_tail(self):
+        engine = StreamEngine(CONDITION)
+        engine.add_query("Q1", 4.0)
+        engine.add_query("Q2", 6.0)
+        engine.remove_query("Q2")
+        assert engine.boundaries == (0.0, 4.0)
+        assert engine.stats.migrations[-1].kind == "drop-tail"
+
+    def test_last_removal_tears_down(self):
+        engine = StreamEngine(CONDITION)
+        engine.add_query("Q1", 4.0)
+        engine.remove_query("Q1")
+        assert engine.slice_count() == 0
+        assert engine.boundaries == ()
+        assert engine.stats.migrations[-1].kind == "teardown"
+
+
+class TestMigrationEquivalence:
+    """No lost or duplicated join results across split/merge migrations."""
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_split_then_merge_matches_fresh_plan(self, stream, batch_size):
+        engine = StreamEngine(CONDITION, batch_size=batch_size)
+        engine.add_query("Qbig", 4.0)
+        split_at = len(stream) // 3
+        merge_at = 2 * len(stream) // 3
+        small = None
+        for index, tup in enumerate(stream):
+            if index == split_at:
+                engine.add_query("Qsmall", 2.0)
+            if index == merge_at:
+                small = engine.remove_query("Qsmall")
+            engine.process(tup)
+        engine.flush()
+
+        # The survivor sees the full-stream reference: the migrations were
+        # invisible to it.
+        big = delivered_pairs(engine.results("Qbig"))
+        assert len(big) == len(set(big)), "duplicated results"
+        assert set(big) == reference_pairs(stream, 4.0)
+
+        # The mid-stream query sees exactly what a fresh shared plan over
+        # the suffix would produce: every pair whose completing tuple
+        # arrived while it was registered (the shared chain already holds
+        # the in-window history at admission time).
+        small_pairs = delivered_pairs(small)
+        assert len(small_pairs) == len(set(small_pairs)), "duplicated results"
+        assert set(small_pairs) == reference_pairs(
+            stream, 2.0, later_range=(split_at, merge_at)
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    def test_appended_window_fills_from_admission(self, stream, batch_size):
+        engine = StreamEngine(CONDITION, batch_size=batch_size)
+        engine.add_query("Qbig", 2.0)
+        extend_at = len(stream) // 2
+        for index, tup in enumerate(stream):
+            if index == extend_at:
+                engine.add_query("Qbigger", 4.0)
+            engine.process(tup)
+        engine.flush()
+
+        bigger = delivered_pairs(engine.results("Qbigger"))
+        assert len(bigger) == len(set(bigger)), "duplicated results"
+        got = set(bigger)
+        # Upper bound: only genuine window-4 results, completed after
+        # admission.
+        assert got <= reference_pairs(stream, 4.0, later_range=(extend_at, len(stream)))
+        # Lower bound: at least everything a fresh chain started empty at
+        # admission would find (pairs where both tuples arrive after it).
+        fresh = {
+            pair
+            for pair in reference_pairs(
+                stream, 4.0, later_range=(extend_at, len(stream))
+            )
+            if all(
+                index >= extend_at
+                for index, tup in enumerate(stream)
+                if tup.seqno in pair
+            )
+        }
+        assert fresh <= got
+        # And the retained in-window history makes it strictly better than
+        # starting cold: window-2 pairs completed after admission are all
+        # present.
+        assert reference_pairs(stream, 2.0, later_range=(extend_at, len(stream))) <= got
+
+    def test_output_identical_across_batch_sizes(self, stream):
+        signatures = []
+        for batch_size in (1, 7, 64):
+            engine = StreamEngine(CONDITION, batch_size=batch_size)
+            engine.add_query("Qbig", 4.0)
+            removed = {}
+            for index, tup in enumerate(stream):
+                if index == len(stream) // 4:
+                    engine.add_query("Qsmall", 2.0)
+                if index == len(stream) // 2:
+                    removed["Qsmall"] = engine.remove_query("Qsmall")
+                if index == 3 * len(stream) // 4:
+                    engine.add_query("Qbigger", 5.0)
+                engine.process(tup)
+            engine.flush()
+            signatures.append(
+                (
+                    delivered_pairs(engine.results("Qbig")),
+                    delivered_pairs(removed["Qsmall"]),
+                    delivered_pairs(engine.results("Qbigger")),
+                )
+            )
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    def test_states_stay_disjoint_across_migrations(self, stream):
+        engine = StreamEngine(CONDITION, batch_size=16)
+        engine.add_query("Q1", 4.0)
+        checkpoints = {
+            len(stream) // 5: ("add", "Q2", 2.0),
+            2 * len(stream) // 5: ("add", "Q3", 3.0),
+            3 * len(stream) // 5: ("remove", "Q2", None),
+            4 * len(stream) // 5: ("remove", "Q3", None),
+        }
+        for index, tup in enumerate(stream):
+            action = checkpoints.get(index)
+            if action is not None:
+                kind, name, window = action
+                if kind == "add":
+                    engine.add_query(name, window)
+                else:
+                    engine.remove_query(name)
+                assert engine.states_are_disjoint()
+            engine.process(tup)
+        engine.flush()
+        assert engine.states_are_disjoint()
+        big = delivered_pairs(engine.results("Q1"))
+        assert set(big) == reference_pairs(stream, 4.0)
+        assert len(big) == len(set(big))
+
+
+class TestRebalance:
+    def test_rebalance_keeps_results_exact(self, stream):
+        params = ChainCostParameters(
+            arrival_rate_left=15, arrival_rate_right=15, system_overhead=5.0
+        )
+        engine = StreamEngine(CONDITION, batch_size=16)
+        for name, window in (("Q1", 1.0), ("Q2", 2.0), ("Q3", 4.0)):
+            engine.add_query(name, window)
+        mem_opt_boundaries = engine.boundaries
+        assert mem_opt_boundaries == (0.0, 1.0, 2.0, 4.0)
+        half = len(stream) // 2
+        for tup in stream[:half]:
+            engine.process(tup)
+        boundaries = engine.rebalance(params)
+        # A high Csys makes merging profitable: fewer slices than Mem-Opt.
+        assert len(boundaries) < len(mem_opt_boundaries)
+        for tup in stream[half:]:
+            engine.process(tup)
+        engine.flush()
+        for name, window in (("Q1", 1.0), ("Q2", 2.0), ("Q3", 4.0)):
+            got = delivered_pairs(engine.results(name))
+            assert len(got) == len(set(got)), "duplicated results"
+            assert set(got) == reference_pairs(stream, window)
+
+    def test_rebalance_requires_queries(self):
+        engine = StreamEngine(CONDITION)
+        with pytest.raises(MigrationError):
+            engine.rebalance(ChainCostParameters())
+
+    def test_remove_largest_after_rebalance_sheds_merged_tail(self, stream):
+        """A rebalance can merge the next-largest window's boundary away;
+        removing the largest query must still shed the tail state by
+        re-splitting at the new largest window first."""
+        params = ChainCostParameters(
+            arrival_rate_left=15, arrival_rate_right=15, system_overhead=50.0
+        )
+        engine = StreamEngine(CONDITION, batch_size=16)
+        engine.add_query("Qsmall", 2.0)
+        engine.add_query("Qbig", 6.0)
+        half = len(stream) // 2
+        for tup in stream[:half]:
+            engine.process(tup)
+        boundaries = engine.rebalance(params)
+        assert boundaries == (0.0, 6.0), "high Csys should merge to one slice"
+        engine.remove_query("Qbig")
+        # The chain must shrink back to the remaining query's window...
+        assert engine.boundaries == (0.0, 2.0)
+        assert engine.stats.migrations[-1].kind == "drop-tail"
+        # ...and keep producing exact results for it.
+        for tup in stream[half:]:
+            engine.process(tup)
+        engine.flush()
+        got = delivered_pairs(engine.results("Qsmall"))
+        assert len(got) == len(set(got))
+        assert set(got) == reference_pairs(stream, 2.0)
+        # State converges to the 2-second window's occupancy: nothing older
+        # than the window survives once the purges catch up.
+        last_ts = stream[-1].timestamp
+        ages = [
+            last_ts - tup.timestamp
+            for join in engine._chain.joins
+            for side in ("A", "B")
+            for tup in join.state_tuples(side)
+        ]
+        assert max(ages) < 2.0 + 1e-6
+
+
+class TestEngineAccounting:
+    def test_stats_and_metrics(self, stream):
+        engine = StreamEngine(CONDITION, batch_size=8)
+        engine.add_query("Q1", 2.0)
+        engine.process_many(stream[:100])
+        engine.flush()
+        assert engine.stats.arrivals == 100
+        assert engine.stats.batches >= 100 // 8
+        assert engine.metrics.tuples_ingested == 100
+        assert engine.metrics.memory_samples, "memory must be sampled per batch"
+        assert engine.state_size() > 0
+        assert engine.stats.results_delivered == len(engine.results("Q1"))
+
+    def test_pop_results_clears(self, stream):
+        engine = StreamEngine(CONDITION, batch_size=8)
+        engine.add_query("Q1", 2.0)
+        engine.process_many(stream[:200])
+        first = engine.pop_results("Q1")
+        assert first
+        assert engine.results("Q1") == []
+
+    def test_workload_snapshot(self):
+        engine = StreamEngine(CONDITION)
+        engine.add_query("Q2", 4.0)
+        engine.add_query("Q1", 2.0)
+        workload = engine.workload()
+        assert workload.window_sizes() == [2.0, 4.0]
+        assert workload.names() == ["Q1", "Q2"]
