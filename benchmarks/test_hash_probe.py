@@ -1,0 +1,105 @@
+"""Hash-probe acceptance gate (PR 2).
+
+Wall-clock throughput of the sliced-join chain on an equi-join workload,
+nested-loop probing versus the per-slice hash index.  The gate requires the
+hash path to reach at least 2× the nested-loop tuples/sec with outputs
+identical pair-for-pair; the measured trajectory is recorded in
+``results/BENCH_hash_probe.json``.
+
+The workload is sized so each side's window state holds a few hundred
+tuples: nested loops then pay hundreds of probe comparisons per arrival
+while the hash path pays roughly ``state × S1`` (one key bucket), which is
+where the 2× bar clears with a wide margin on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.chain import SlicedJoinChain
+from repro.query.predicates import EquiJoinCondition
+from repro.runtime import StreamEngine
+from repro.streams.generators import generate_join_workload
+
+RATE = 120
+DURATION = 6.0
+KEY_DOMAIN = 200
+BOUNDARIES = [0.0, 1.0, 3.0]
+DATA = generate_join_workload(rate_a=RATE, rate_b=RATE, duration=DURATION, seed=42)
+CONDITION = EquiJoinCondition("join_key", "join_key", key_domain=KEY_DOMAIN)
+
+SPEEDUP_GATE = 2.0
+
+
+def _run_chain(probe: str) -> tuple[float, list[tuple[int, int, int]]]:
+    """Best-of-3 wall-clock seconds plus the tagged output pairs."""
+    best = float("inf")
+    outputs = None
+    for _ in range(3):
+        chain = SlicedJoinChain(BOUNDARIES, CONDITION, probe=probe)
+        start = time.perf_counter()
+        results = chain.process_batch(DATA.tuples)
+        best = min(best, time.perf_counter() - start)
+        outputs = [(index, j.left.seqno, j.right.seqno) for index, j in results]
+    return best, outputs
+
+
+def test_hash_probe_speedup_gate(results_dir):
+    nested_seconds, nested_out = _run_chain("nested_loop")
+    hashed_seconds, hashed_out = _run_chain("hash")
+    assert nested_out == hashed_out, "hash probing changed the join answer"
+
+    speedup = nested_seconds / hashed_seconds
+    arrivals = len(DATA.tuples)
+    payload = {
+        "benchmark": "hash_probe_equi_join",
+        "arrivals": arrivals,
+        "workload": {
+            "chain_boundaries": BOUNDARIES,
+            "rate_per_stream": RATE,
+            "duration_seconds": DURATION,
+            "equi_key_domain": KEY_DOMAIN,
+        },
+        "results": [
+            {
+                "probe": name,
+                "seconds": round(seconds, 6),
+                "tuples_per_sec": round(arrivals / seconds, 1),
+                "joined_pairs": len(nested_out),
+            }
+            for name, seconds in (
+                ("nested_loop", nested_seconds),
+                ("hash", hashed_seconds),
+            )
+        ],
+        "speedup_hash_vs_nested_loop": round(speedup, 3),
+        "gate": SPEEDUP_GATE,
+    }
+    path = Path(results_dir) / "BENCH_hash_probe.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= SPEEDUP_GATE, (
+        f"hash probing reached only {speedup:.2f}x nested-loop throughput "
+        f"(gate {SPEEDUP_GATE}x); see {path}"
+    )
+
+
+def test_hash_probe_engine_outputs_identical():
+    """The StreamEngine's probe flag rides the same path: spot-check that a
+    live session with admissions mid-stream stays pair-identical."""
+    outputs = {}
+    for probe in ("nested_loop", "hash"):
+        engine = StreamEngine(CONDITION, batch_size=32, probe=probe)
+        engine.add_query("Q1", 3.0)
+        for index, tup in enumerate(DATA.tuples):
+            if index == len(DATA.tuples) // 2:
+                engine.add_query("Q2", 1.0)
+            engine.process(tup)
+        engine.flush()
+        outputs[probe] = [
+            [(j.left.seqno, j.right.seqno) for j in engine.results(name)]
+            for name in ("Q1", "Q2")
+        ]
+    assert outputs["nested_loop"] == outputs["hash"]

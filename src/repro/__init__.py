@@ -68,7 +68,7 @@ from repro.query import (
     selectivity_join,
     three_query_workload,
 )
-from repro.runtime import RegisteredQuery, StreamEngine
+from repro.runtime import CountStreamEngine, RegisteredQuery, StreamEngine
 from repro.streams import StreamTuple, generate_join_workload, make_tuple
 
 __version__ = "1.0.0"
@@ -98,6 +98,7 @@ __all__ = [
     "execute_plan",
     "ContinuousQuery",
     "QueryWorkload",
+    "CountStreamEngine",
     "RegisteredQuery",
     "StreamEngine",
     "build_workload",

@@ -118,7 +118,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=[4.0, 2.0, 6.0],
         help="windows of the queries, admitted at evenly spaced points "
-        "starting from the first arrival",
+        "starting from the first arrival (seconds, or tuple counts with "
+        "--window-kind count)",
+    )
+    runtime.add_argument(
+        "--window-kind",
+        choices=("time", "count"),
+        default="time",
+        help="time-based sliding windows (default) or count-based "
+        "most-recent-N windows",
+    )
+    runtime.add_argument(
+        "--probe",
+        choices=("nested_loop", "hash", "auto"),
+        default="nested_loop",
+        help="slice probe algorithm; hash/auto switch the session to an "
+        "equi-join condition and index every slice on the join key",
+    )
+    runtime.add_argument(
+        "--ssigma",
+        type=float,
+        default=1.0,
+        help="selection selectivity Sσ: every second admitted query carries "
+        "a left-stream predicate with this selectivity (1.0 = no selections)",
     )
     return parser
 
@@ -269,37 +291,69 @@ def _cmd_cost(args: argparse.Namespace) -> str:
 
 
 def _cmd_runtime(args: argparse.Namespace) -> str:
-    from repro.query.predicates import selectivity_join
+    from repro.engine.errors import QueryError
+    from repro.query.predicates import (
+        EquiJoinCondition,
+        selectivity_filter,
+        selectivity_join,
+    )
     from repro.runtime import StreamEngine
     from repro.streams.generators import generate_join_workload
 
     data = generate_join_workload(
         rate_a=args.rate, rate_b=args.rate, duration=args.duration, seed=args.seed
     )
-    engine = StreamEngine(selectivity_join(args.s1), batch_size=args.batch_size)
+    if args.probe in ("hash", "auto"):
+        if not 0.0 < args.s1 <= 1.0:
+            raise QueryError(f"join selectivity must lie in (0, 1], got {args.s1}")
+        # Hash probing needs an equi-key; approximate the requested S1 with
+        # the key-domain size (uniform keys match with probability 1/domain).
+        condition = EquiJoinCondition(
+            "join_key", "join_key", key_domain=max(1, round(1.0 / args.s1))
+        )
+    else:
+        condition = selectivity_join(args.s1)
+    engine = StreamEngine(
+        condition,
+        batch_size=args.batch_size,
+        window_kind=args.window_kind,
+        probe=args.probe,
+    )
+    unit = "s" if args.window_kind == "time" else " rows"
     tuples = data.tuples
     windows = args.windows or [4.0]
+    if args.window_kind == "count":
+        windows = [max(1, int(window)) for window in windows]
     step = max(1, len(tuples) // (len(windows) + 1))
     admissions = {index * step: window for index, window in enumerate(windows)}
     lines = [
-        f"StreamEngine demo: {len(tuples)} arrivals, batch size {args.batch_size}",
+        f"StreamEngine demo: {len(tuples)} arrivals, batch size "
+        f"{args.batch_size}, {args.window_kind} windows, {args.probe} probing",
         "",
     ]
     for index, tup in enumerate(tuples):
         if index in admissions:
             window = admissions[index]
-            name = f"Q{len(engine.queries()) + 1}"
-            engine.add_query(name, window)
+            ordinal = len(engine.queries()) + 1
+            name = f"Q{ordinal}"
+            # Every second query carries a selection so the demo exercises
+            # the shared push-down recomputation (no-op when Sσ = 1).
+            left_filter = (
+                selectivity_filter(args.ssigma) if ordinal % 2 == 0 else None
+            )
+            engine.add_query(name, window, left_filter=left_filter)
+            tag = "σ " if left_filter is not None else ""
             lines.append(
-                f"t={tup.timestamp:7.2f}s  +{name} (window {window:g}s)  "
+                f"t={tup.timestamp:7.2f}s  +{name} ({tag}window {window:g}{unit})  "
                 f"boundaries={list(engine.boundaries)}"
             )
         engine.process(tup)
     engine.flush()
     lines.append("")
     for query in engine.queries():
+        tag = "σ, " if query.has_selection else ""
         lines.append(
-            f"{query.name}: window {query.window:g}s, admitted at arrival "
+            f"{query.name}: {tag}window {query.window:g}{unit}, admitted at arrival "
             f"{query.registered_at}, results {len(engine.results(query.name))}"
         )
     lines.append("")

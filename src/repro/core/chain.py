@@ -12,9 +12,18 @@ entry point for:
   slice into two and merging two adjacent slices while the stream is
   running.
 
-For shared multi-query execution with selections, routers and unions, use
-:func:`repro.core.plan_builder.build_state_slice_plan`, which assembles a
-full :class:`~repro.engine.plan.QueryPlan` from the same building blocks.
+The chain also carries the *pushed-down selections* of Section 6: each link
+(the queue in front of a slice, including the chain entry) can hold one
+:class:`~repro.operators.selection.StreamFilter` per stream, installed via
+:meth:`SlicedJoinChain.set_link_filters`.  A tuple failing the filter of a
+link never enters the slices behind it, which is what keeps the shared
+chain memory-minimal when queries carry selection predicates (Theorem 4).
+
+For shared multi-query execution with selections, routers and unions over a
+*static* workload, use :func:`repro.core.plan_builder.build_state_slice_plan`,
+which assembles a full :class:`~repro.engine.plan.QueryPlan` from the same
+building blocks; the chain-level filters exist for the runtime layer, where
+the filter placement must be re-derived after every online migration.
 """
 
 from __future__ import annotations
@@ -24,8 +33,9 @@ from typing import Sequence
 
 from repro.engine.errors import ChainError, MigrationError
 from repro.engine.metrics import MetricsCollector
+from repro.operators.selection import StreamFilter
 from repro.operators.sliced_join import SlicedBinaryJoin
-from repro.query.predicates import JoinCondition
+from repro.query.predicates import JoinCondition, Predicate, TruePredicate
 from repro.streams.tuples import JoinedTuple, StreamTuple
 
 __all__ = ["SlicedJoinChain", "SliceResult"]
@@ -49,6 +59,9 @@ class SlicedJoinChain:
         Names of the two input streams.
     metrics:
         Optional shared metrics collector for cost accounting.
+    probe:
+        Probe algorithm of every slice: ``"nested_loop"``, ``"hash"``
+        (equi-joins only) or ``"auto"``.
     """
 
     def __init__(
@@ -58,6 +71,7 @@ class SlicedJoinChain:
         left_stream: str = "A",
         right_stream: str = "B",
         metrics: MetricsCollector | None = None,
+        probe: str = "nested_loop",
     ) -> None:
         bounds = [float(b) for b in boundaries]
         if len(bounds) < 2:
@@ -70,9 +84,16 @@ class SlicedJoinChain:
         self.left_stream = left_stream
         self.right_stream = right_stream
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.probe = probe
         self.joins: list[SlicedBinaryJoin] = []
         for start, end in zip(bounds, bounds[1:]):
             self.joins.append(self._make_join(start, end))
+        #: Pushed-down selections per link: ``_filters[i]`` is the
+        #: ``(left StreamFilter | None, right StreamFilter | None)`` pair in
+        #: front of slice ``i`` (``i = 0`` filters the raw arrivals).
+        self._filters: list[tuple[StreamFilter | None, StreamFilter | None]] = [
+            (None, None) for _ in self.joins
+        ]
 
     def _make_join(self, start: float, end: float) -> SlicedBinaryJoin:
         join = SlicedBinaryJoin(
@@ -81,10 +102,67 @@ class SlicedJoinChain:
             condition=self.condition,
             left_stream=self.left_stream,
             right_stream=self.right_stream,
+            probe=self.probe,
             name=f"slice[{start:g},{end:g})",
         )
         join.bind_metrics(self.metrics)
         return join
+
+    # -- pushed-down selections (Section 6) ---------------------------------------------
+    def set_link_filters(
+        self, predicates: Sequence[tuple[Predicate | None, Predicate | None]]
+    ) -> None:
+        """Install the pushed-down σ' predicates, one pair per link.
+
+        ``predicates[i]`` is the ``(left, right)`` predicate pair guarding
+        the queue in front of slice ``i``; ``None`` (or a
+        :class:`~repro.query.predicates.TruePredicate`) removes the filter.
+        The caller — typically :class:`repro.runtime.engine.StreamEngine` —
+        recomputes the placement from its workload after every migration.
+        """
+        if len(predicates) != len(self.joins):
+            raise ChainError(
+                f"expected {len(self.joins)} filter pairs, got {len(predicates)}"
+            )
+        filters: list[tuple[StreamFilter | None, StreamFilter | None]] = []
+        for index, (left, right) in enumerate(predicates):
+            start = self.joins[index].slice.start
+            pair = []
+            for stream, predicate in (
+                (self.left_stream, left),
+                (self.right_stream, right),
+            ):
+                if predicate is None or isinstance(predicate, TruePredicate):
+                    pair.append(None)
+                    continue
+                stream_filter = StreamFilter(
+                    predicate, stream=stream, name=f"σ'[{stream}]@{start:g}"
+                )
+                stream_filter.bind_metrics(self.metrics)
+                pair.append(stream_filter)
+            filters.append((pair[0], pair[1]))
+        self._filters = filters
+
+    def link_filters(self) -> list[tuple[Predicate | None, Predicate | None]]:
+        """The installed pushed-down predicates, one pair per link."""
+        return [
+            (
+                left.predicate if left is not None else None,
+                right.predicate if right is not None else None,
+            )
+            for left, right in self._filters
+        ]
+
+    def _through_link(self, index: int, items: list) -> list:
+        """Run a FIFO run of items through link ``index``'s filters."""
+        left, right = self._filters[index]
+        for stream_filter in (left, right):
+            if stream_filter is None or not items:
+                continue
+            items = [
+                item for _port, item in stream_filter.process_batch(items, "in")
+            ]
+        return items
 
     # -- execution ------------------------------------------------------------------
     def process(self, tup: StreamTuple) -> list[SliceResult]:
@@ -97,8 +175,9 @@ class SlicedJoinChain:
         results: list[SliceResult] = []
         port = "left" if tup.stream == self.left_stream else "right"
         pending: deque[tuple[int, object]] = deque()
-        for out_port, item in self.joins[0].process(tup, port):
-            pending.append((0, (out_port, item)))
+        for entry in self._through_link(0, [tup]):
+            for out_port, item in self.joins[0].process(entry, port):
+                pending.append((0, (out_port, item)))
         while pending:
             index, (out_port, item) = pending.popleft()
             if out_port == "output":
@@ -106,9 +185,10 @@ class SlicedJoinChain:
             elif out_port == "next":
                 next_index = index + 1
                 if next_index < len(self.joins):
-                    emissions = self.joins[next_index].process(item, "chain")
-                    for nxt_port, nxt_item in emissions:
-                        pending.append((next_index, (nxt_port, nxt_item)))
+                    for passed in self._through_link(next_index, [item]):
+                        emissions = self.joins[next_index].process(passed, "chain")
+                        for nxt_port, nxt_item in emissions:
+                            pending.append((next_index, (nxt_port, nxt_item)))
             # punctuations are dropped: the chain harness returns results
             # directly instead of routing them through a union operator.
         return results
@@ -129,6 +209,7 @@ class SlicedJoinChain:
         results: list[SliceResult] = []
         port = "left"
         for index, join in enumerate(self.joins):
+            batch = self._through_link(index, batch)
             if not batch:
                 break
             next_batch: list[object] = []
@@ -220,6 +301,9 @@ class SlicedJoinChain:
         new_join = self._make_join(boundary, old_end)
         join.slice = type(join.slice)(join.slice.start, boundary)
         self.joins.insert(index + 1, new_join)
+        # The new link starts unfiltered; the owner of the chain recomputes
+        # the filter placement for the changed boundaries.
+        self._filters.insert(index + 1, (None, None))
 
     def merge_slices(self, index: int) -> None:
         """Merge slice ``index`` with slice ``index + 1``.
@@ -239,10 +323,10 @@ class SlicedJoinChain:
         for stream in (self.left_stream, self.right_stream):
             older = absorb.state_tuples(stream)
             newer = keep.state_tuples(stream)
-            merged = deque(older + newer)
-            keep._states[stream] = merged
+            keep.load_state(stream, older + newer)
         keep.slice = type(keep.slice)(keep.slice.start, absorb.slice.end)
         del self.joins[index + 1]
+        del self._filters[index + 1]
 
     def append_slice(self, end: float) -> None:
         """Extend the chain with a new empty tail slice ``[old_end, end)``.
@@ -259,6 +343,7 @@ class SlicedJoinChain:
                 f"appended boundary {end:g} must exceed the chain end {old_end:g}"
             )
         self.joins.append(self._make_join(old_end, end))
+        self._filters.append((None, None))
 
     def drop_tail_slice(self) -> None:
         """Remove the last slice of the chain, discarding its state.
@@ -270,6 +355,7 @@ class SlicedJoinChain:
         if len(self.joins) < 2:
             raise MigrationError("cannot drop the only slice of a chain")
         self.joins.pop()
+        self._filters.pop()
 
     def slice_index_for_boundary(self, boundary: float) -> int | None:
         """Index of the slice whose *end* equals ``boundary``, if any."""

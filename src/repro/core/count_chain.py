@@ -5,6 +5,17 @@ windows (the extension the paper's Section 2 mentions): the chain boundaries
 are tuple *counts* instead of time offsets, each slice stores the tuples of
 one contiguous rank range per stream, and the union of the slice outputs
 equals the regular count-based join with the largest count window.
+
+The chain supports the same online migration primitives as the time-based
+chain (split / merge / append / drop-tail), with one structural difference:
+rank boundaries cannot re-partition lazily.  A time slice whose end window
+shrinks expels its now-too-old tuples on the next cross-purge, because age
+is measured against the probing tuple.  A count slice's membership is a
+*rank range*, and ranks only move on same-stream insertions — a shrunk
+slice would keep probing tuples whose rank it no longer covers.  The split
+migration therefore moves the out-of-range ranks into the new slice
+eagerly (and the hash index, when enabled, is rebuilt by ``load_state``),
+which keeps every probe exact at all times.
 """
 
 from __future__ import annotations
@@ -12,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Sequence
 
-from repro.engine.errors import ChainError
+from repro.engine.errors import ChainError, MigrationError
 from repro.engine.metrics import MetricsCollector
 from repro.operators.count_join import CountSlicedBinaryJoin
 from repro.query.predicates import JoinCondition
@@ -41,6 +52,7 @@ class CountSlicedJoinChain:
         left_stream: str = "A",
         right_stream: str = "B",
         metrics: MetricsCollector | None = None,
+        probe: str = "nested_loop",
     ) -> None:
         bounds = [int(b) for b in boundaries]
         if len(bounds) < 2:
@@ -53,18 +65,23 @@ class CountSlicedJoinChain:
         self.left_stream = left_stream
         self.right_stream = right_stream
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.probe = probe
         self.joins: list[CountSlicedBinaryJoin] = []
         for start, end in zip(bounds, bounds[1:]):
-            join = CountSlicedBinaryJoin(
-                rank_start=start,
-                rank_end=end,
-                condition=condition,
-                left_stream=left_stream,
-                right_stream=right_stream,
-                name=f"count-slice[{start},{end})",
-            )
-            join.bind_metrics(self.metrics)
-            self.joins.append(join)
+            self.joins.append(self._make_join(start, end))
+
+    def _make_join(self, start: int, end: int) -> CountSlicedBinaryJoin:
+        join = CountSlicedBinaryJoin(
+            rank_start=start,
+            rank_end=end,
+            condition=self.condition,
+            left_stream=self.left_stream,
+            right_stream=self.right_stream,
+            probe=self.probe,
+            name=f"count-slice[{start},{end})",
+        )
+        join.bind_metrics(self.metrics)
+        return join
 
     # -- execution -----------------------------------------------------------------
     def process(self, tup: StreamTuple) -> list[tuple[int, JoinedTuple]]:
@@ -83,6 +100,33 @@ class CountSlicedJoinChain:
                 if next_index < len(self.joins):
                     for emission in self.joins[next_index].process(item, "chain"):
                         pending.append((next_index, emission))
+        return results
+
+    def process_batch(
+        self, tuples: Sequence[StreamTuple]
+    ) -> list[tuple[int, JoinedTuple]]:
+        """Feed a FIFO batch of arrivals through the chain, slice by slice.
+
+        Mirrors :meth:`repro.core.chain.SlicedJoinChain.process_batch`: the
+        head join's raw ports are interchangeable, so the whole mixed-stream
+        batch is delivered to it in one call; later joins consume the
+        propagated references on their ``chain`` port.  The result *set* is
+        identical to per-tuple processing.
+        """
+        batch: list[object] = list(tuples)
+        results: list[tuple[int, JoinedTuple]] = []
+        port = "left"
+        for index, join in enumerate(self.joins):
+            if not batch:
+                break
+            next_batch: list[object] = []
+            for out_port, item in join.process_batch(batch, port):
+                if out_port == "output":
+                    results.append((index, item))
+                elif out_port == "next":
+                    next_batch.append(item)
+            batch = next_batch
+            port = "chain"
         return results
 
     def process_all(self, tuples: Sequence[StreamTuple]) -> list[tuple[int, JoinedTuple]]:
@@ -127,6 +171,98 @@ class CountSlicedJoinChain:
                         return False
                     seen.add(tup.seqno)
         return True
+
+    def state_tuples(self, stream: str) -> list[list[StreamTuple]]:
+        """Per-slice state contents of one stream (oldest slice last)."""
+        return [join.state_tuples(stream) for join in self.joins]
+
+    def slice_count(self) -> int:
+        return len(self.joins)
+
+    # -- online migration (count-based analogue of Section 5.3) ---------------------
+    def split_slice(self, index: int, boundary: int) -> None:
+        """Split slice ``index`` at rank ``boundary`` into two adjacent slices.
+
+        Unlike the time-based split, the out-of-range ranks are moved into
+        the new slice eagerly (see the module docstring): each state keeps
+        its newest ``boundary - rank_start`` tuples and hands the older
+        remainder — exactly the ranks ``[boundary, rank_end)`` — to the new
+        slice, so the membership invariant every probe relies on keeps
+        holding.
+        """
+        if not 0 <= index < len(self.joins):
+            raise MigrationError(f"no slice with index {index}")
+        join = self.joins[index]
+        boundary = int(boundary)
+        if not join.rank_start < boundary < join.rank_end:
+            raise MigrationError(
+                f"split boundary {boundary} must lie strictly inside "
+                f"[{join.rank_start}, {join.rank_end})"
+            )
+        new_join = self._make_join(boundary, join.rank_end)
+        keep_capacity = boundary - join.rank_start
+        for stream in (self.left_stream, self.right_stream):
+            state = join.state_tuples(stream)  # oldest first
+            overflow = len(state) - keep_capacity
+            if overflow > 0:
+                new_join.load_state(stream, state[:overflow])
+                join.load_state(stream, state[overflow:])
+        join.rank_end = boundary
+        self.joins.insert(index + 1, new_join)
+
+    def merge_slices(self, index: int) -> None:
+        """Merge slice ``index`` with slice ``index + 1``.
+
+        The states concatenate (the later slice holds the older ranks, so
+        its tuples go first) and the surviving join's rank range extends.
+        """
+        if not 0 <= index < len(self.joins) - 1:
+            raise MigrationError(
+                f"cannot merge slice {index}: it has no successor in the chain"
+            )
+        keep = self.joins[index]
+        absorb = self.joins[index + 1]
+        for stream in (self.left_stream, self.right_stream):
+            keep.load_state(
+                stream, absorb.state_tuples(stream) + keep.state_tuples(stream)
+            )
+        keep.rank_end = absorb.rank_end
+        del self.joins[index + 1]
+
+    def append_slice(self, end: int) -> None:
+        """Extend the chain with a new empty tail slice ``[old_end, end)``.
+
+        Tuples evicted off the old tail (previously discarded) now flow into
+        the new slice, so a larger count window registered at runtime fills
+        naturally from this point on.
+        """
+        old_end = self.joins[-1].rank_end
+        end = int(end)
+        if end <= old_end:
+            raise MigrationError(
+                f"appended boundary {end} must exceed the chain end {old_end}"
+            )
+        self.joins.append(self._make_join(old_end, end))
+
+    def drop_tail_slice(self) -> None:
+        """Remove the last slice of the chain, discarding its state."""
+        if len(self.joins) < 2:
+            raise MigrationError("cannot drop the only slice of a chain")
+        self.joins.pop()
+
+    def slice_index_for_boundary(self, boundary: int) -> int | None:
+        """Index of the slice whose *end* equals ``boundary``, if any."""
+        for index, join in enumerate(self.joins):
+            if join.rank_end == int(boundary):
+                return index
+        return None
+
+    def slice_index_containing(self, boundary: int) -> int | None:
+        """Index of the slice with ``rank_start < boundary < rank_end``, if any."""
+        for index, join in enumerate(self.joins):
+            if join.rank_start < int(boundary) < join.rank_end:
+                return index
+        return None
 
     def describe(self) -> str:
         return " -> ".join(

@@ -24,7 +24,13 @@ from repro.core.slices import ChainSpec, SliceSpec
 from repro.query.predicates import Predicate, TruePredicate
 from repro.query.query import ContinuousQuery, QueryWorkload
 
-__all__ = ["pushed_filters", "residual_filters", "SliceFilters", "ResidualFilters"]
+__all__ = [
+    "pushed_filters",
+    "residual_filters",
+    "residual_predicate",
+    "SliceFilters",
+    "ResidualFilters",
+]
 
 
 @dataclass(frozen=True)
@@ -68,14 +74,15 @@ def pushed_filters(workload: QueryWorkload, slice_spec: SliceSpec) -> SliceFilte
     )
 
 
-def _residual(query_filter: Predicate, pushed: Predicate) -> Predicate:
+def residual_predicate(query_filter: Predicate, pushed: Predicate) -> Predicate:
     """The filter a query must still apply given what was already pushed down.
 
     When the pushed predicate is exactly the query's own predicate the
     residual is trivially true (no re-evaluation needed); otherwise the
     query's predicate is re-applied.  Structural equality is approximated by
     comparing the describe() forms, which is exact for predicates built from
-    the same workload objects.
+    the same workload objects.  Shared by the static plan builder and the
+    runtime engine's per-slice result routing.
     """
     if isinstance(query_filter, TruePredicate):
         return TruePredicate()
@@ -94,6 +101,6 @@ def residual_filters(
     slice_spec = chain.slices[slice_index]
     pushed = pushed_filters(workload, slice_spec)
     return ResidualFilters(
-        left=_residual(query.left_filter, pushed.left),
-        right=_residual(query.right_filter, pushed.right),
+        left=residual_predicate(query.left_filter, pushed.left),
+        right=residual_predicate(query.right_filter, pushed.right),
     )

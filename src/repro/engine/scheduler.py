@@ -87,20 +87,29 @@ class ScheduledExecutor:
             for port in operator.input_ports:
                 self.queues[(name, port)] = OperatorQueue(f"{name}.{port}")
         self._arrivals_seen = 0
+        self._last_sampled_arrival = 0
+        self._last_timestamp = 0.0
 
     # -- public API ---------------------------------------------------------------
     def run(self, tuples: Iterable[StreamTuple], strategy: str = "") -> RunReport:
-        last_timestamp = 0.0
         for tup in tuples:
             self.process_arrival(tup)
-            last_timestamp = tup.timestamp
         self.drain()
         self._flush()
+        if self._arrivals_seen and self._arrivals_seen != self._last_sampled_arrival:
+            # The final state size must be sampled even when the arrival
+            # count is not a multiple of the sampling stride, matching
+            # ImmediateExecutor.finish — peak-memory numbers must not be
+            # stride-dependent.
+            self.metrics.sample_memory(
+                self._last_timestamp, self.plan.total_state_size()
+            )
+            self._last_sampled_arrival = self._arrivals_seen
         return RunReport(
             strategy=strategy or self.plan.name,
             metrics=self.metrics,
             results=self.results,
-            duration=last_timestamp,
+            duration=self._last_timestamp,
         )
 
     def process_arrival(self, tup: StreamTuple) -> None:
@@ -117,8 +126,10 @@ class ScheduledExecutor:
         for _ in range(self.invocations_per_arrival):
             self._invoke(self.scheduler.next_operator())
         self._arrivals_seen += 1
+        self._last_timestamp = tup.timestamp
         if self._arrivals_seen % self.memory_sample_interval == 0:
             self.metrics.sample_memory(tup.timestamp, self.plan.total_state_size())
+            self._last_sampled_arrival = self._arrivals_seen
 
     def drain(self) -> None:
         """Run the scheduler until every queue is empty."""

@@ -23,13 +23,14 @@ Chains of count-sliced joins are managed by
 
 from __future__ import annotations
 
-from collections import deque
+from collections import defaultdict, deque
 from typing import Any, Deque, Iterable
 
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
-from repro.query.predicates import JoinCondition
+from repro.operators.sliced_join import resolve_probe
+from repro.query.predicates import EquiJoinCondition, JoinCondition
 from repro.streams.tuples import FEMALE, JoinedTuple, Punctuation, RefTuple, StreamTuple
 
 __all__ = ["CountWindowJoin", "CountSlicedBinaryJoin"]
@@ -159,6 +160,7 @@ class CountSlicedBinaryJoin(Operator):
         condition: JoinCondition,
         left_stream: str = "A",
         right_stream: str = "B",
+        probe: str = "nested_loop",
         name: str | None = None,
     ) -> None:
         super().__init__(name)
@@ -171,10 +173,23 @@ class CountSlicedBinaryJoin(Operator):
         self.condition = condition
         self.left_stream = left_stream
         self.right_stream = right_stream
+        self.probe = resolve_probe(probe, condition)
         self._states: dict[str, Deque[StreamTuple]] = {
             left_stream: deque(),
             right_stream: deque(),
         }
+        if self.probe == "hash":
+            assert isinstance(condition, EquiJoinCondition)
+            self._key_attrs: dict[str, str] = {
+                left_stream: condition.left_attribute,
+                right_stream: condition.right_attribute,
+            }
+            self._indexes: dict[str, dict[Any, Deque[StreamTuple]]] | None = {
+                left_stream: defaultdict(deque),
+                right_stream: defaultdict(deque),
+            }
+        else:
+            self._indexes = None
 
     # -- introspection --------------------------------------------------------
     @property
@@ -190,6 +205,38 @@ class CountSlicedBinaryJoin(Operator):
 
     def state_tuples(self, stream: str) -> list[StreamTuple]:
         return list(self._states[stream])
+
+    def load_state(self, stream: str, tuples: Iterable[StreamTuple]) -> None:
+        """Replace one stream's sliced state (migration helper).
+
+        The count chain's split/merge migrations move rank ranges between
+        slices eagerly; the hash index, when enabled, is rebuilt here so
+        probing stays correct across migrations.
+        """
+        self._states[stream] = deque(tuples)
+        if self._indexes is not None:
+            index: dict[Any, Deque[StreamTuple]] = defaultdict(deque)
+            attribute = self._key_attrs[stream]
+            for tup in self._states[stream]:
+                index[tup[attribute]].append(tup)
+            self._indexes[stream] = index
+
+    def _insert(self, stream: str, tup: StreamTuple) -> StreamTuple | None:
+        """Append to the own state; return the evicted overflow tuple, if any."""
+        state = self._states[stream]
+        state.append(tup)
+        if self._indexes is not None:
+            self._indexes[stream][tup[self._key_attrs[stream]]].append(tup)
+        if len(state) > self.capacity:
+            evicted = state.popleft()
+            if self._indexes is not None:
+                index = self._indexes[stream]
+                bucket = index[evicted[self._key_attrs[stream]]]
+                bucket.popleft()
+                if not bucket:
+                    del index[evicted[self._key_attrs[stream]]]
+            return evicted
+        return None
 
     # -- execution --------------------------------------------------------------
     def process(self, item: Any, port: str) -> list[Emission]:
@@ -222,7 +269,8 @@ class CountSlicedBinaryJoin(Operator):
         if not chain_port and port not in ("left", "right"):
             raise PlanError(f"unexpected port {port!r} for {self.name!r}")
         states = self._states
-        capacity = self.capacity
+        indexes = self._indexes
+        key_attrs = self._key_attrs if indexes is not None else None
         left_stream = self.left_stream
         right_stream = self.right_stream
         matches = self.condition.matches
@@ -236,21 +284,25 @@ class CountSlicedBinaryJoin(Operator):
             nonlocal probe_count
             stream = tup.stream
             if stream == left_stream:
-                opposite_state = states[right_stream]
+                opposite = right_stream
             elif stream == right_stream:
-                opposite_state = states[left_stream]
+                opposite = left_stream
             else:
                 raise PlanError(
                     f"join {name!r} joins streams "
                     f"{left_stream!r}/{right_stream!r}, got {stream!r}"
                 )
-            probe_count += len(opposite_state)
+            if indexes is not None:
+                candidates = indexes[opposite].get(tup[key_attrs[stream]], ())
+            else:
+                candidates = states[opposite]
+            probe_count += len(candidates)
             if stream == left_stream:
-                for candidate in opposite_state:
+                for candidate in candidates:
                     if matches(tup, candidate):
                         append(("output", JoinedTuple(tup, candidate)))
             else:
-                for candidate in opposite_state:
+                for candidate in candidates:
                     if matches(candidate, tup):
                         append(("output", JoinedTuple(candidate, tup)))
             append(("next", RefTuple(tup, "male")))
@@ -258,11 +310,10 @@ class CountSlicedBinaryJoin(Operator):
 
         def run_female(tup: StreamTuple) -> None:
             nonlocal purge_count
-            state = states[tup.stream]
-            state.append(tup)
-            if len(state) > capacity:
+            evicted = self._insert(tup.stream, tup)
+            if evicted is not None:
                 purge_count += 1
-                append(("next", RefTuple(state.popleft(), FEMALE)))
+                append(("next", RefTuple(evicted, FEMALE)))
 
         for item in batch:
             if isinstance(item, Punctuation):
@@ -295,7 +346,13 @@ class CountSlicedBinaryJoin(Operator):
         """Probe the opposite sliced state, then propagate down the chain."""
         opposite = self._opposite(tup.stream)
         emissions: list[Emission] = []
-        for candidate in self._states[opposite]:
+        if self._indexes is not None:
+            candidates: Iterable[StreamTuple] = self._indexes[opposite].get(
+                tup[self._key_attrs[tup.stream]], ()
+            )
+        else:
+            candidates = self._states[opposite]
+        for candidate in candidates:
             self.metrics.count(CostCategory.PROBE)
             left, right = self._orient(tup, candidate)
             if self.condition.matches(left, right):
@@ -306,12 +363,10 @@ class CountSlicedBinaryJoin(Operator):
 
     def _process_female(self, tup: StreamTuple) -> list[Emission]:
         """Insert into the own sliced state; hand the overflow to the next slice."""
-        state = self._states[tup.stream]
-        state.append(tup)
         emissions: list[Emission] = []
-        if len(state) > self.capacity:
+        evicted = self._insert(tup.stream, tup)
+        if evicted is not None:
             self.metrics.count(CostCategory.PURGE)
-            evicted = state.popleft()
             emissions.append(("next", RefTuple(evicted, FEMALE)))
         return emissions
 

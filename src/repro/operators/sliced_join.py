@@ -25,13 +25,13 @@ emitted; the order-preserving union uses it to release sorted output
 
 from __future__ import annotations
 
-from collections import deque
+from collections import defaultdict, deque
 from typing import Any, Deque, Iterable
 
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
-from repro.query.predicates import JoinCondition
+from repro.query.predicates import EquiJoinCondition, JoinCondition
 from repro.query.windows import WindowSlice
 from repro.streams.tuples import (
     FEMALE,
@@ -42,7 +42,23 @@ from repro.streams.tuples import (
     StreamTuple,
 )
 
-__all__ = ["SlicedOneWayJoin", "SlicedBinaryJoin"]
+__all__ = ["SlicedOneWayJoin", "SlicedBinaryJoin", "resolve_probe"]
+
+
+def resolve_probe(probe: str, condition: JoinCondition) -> str:
+    """Resolve a probe algorithm name against a join condition.
+
+    ``"auto"`` picks hash probing for equi-joins and nested loops otherwise;
+    ``"hash"`` requires an :class:`~repro.query.predicates.EquiJoinCondition`
+    (the per-slice index buckets tuples by the equi-key).
+    """
+    if probe == "auto":
+        return "hash" if isinstance(condition, EquiJoinCondition) else "nested_loop"
+    if probe not in ("nested_loop", "hash"):
+        raise PlanError(f"unknown probe algorithm {probe!r}")
+    if probe == "hash" and not isinstance(condition, EquiJoinCondition):
+        raise PlanError("hash probing requires an equi-join condition")
+    return probe
 
 
 class SlicedOneWayJoin(Operator):
@@ -213,6 +229,12 @@ class SlicedBinaryJoin(Operator):
         Pairwise join condition.
     left_stream, right_stream:
         Stream names used to decide which state a reference tuple belongs to.
+    probe:
+        ``"nested_loop"`` (the paper's cost model), ``"hash"`` (equi-joins
+        only: each sliced state keeps a key → tuples index, so a male probes
+        one bucket instead of the whole state), or ``"auto"``.  The hash
+        index is maintained under insert and cross-purge and rebuilt by
+        :meth:`load_state` when a migration replaces a state wholesale.
     """
 
     input_ports = ("left", "right", "chain")
@@ -230,6 +252,7 @@ class SlicedBinaryJoin(Operator):
         left_stream: str = "A",
         right_stream: str = "B",
         enforce_bounds: bool = False,
+        probe: str = "nested_loop",
         name: str | None = None,
     ) -> None:
         super().__init__(name)
@@ -238,10 +261,25 @@ class SlicedBinaryJoin(Operator):
         self.left_stream = left_stream
         self.right_stream = right_stream
         self.enforce_bounds = enforce_bounds
+        self.probe = resolve_probe(probe, condition)
         self._states: dict[str, Deque[StreamTuple]] = {
             left_stream: deque(),
             right_stream: deque(),
         }
+        if self.probe == "hash":
+            assert isinstance(condition, EquiJoinCondition)
+            #: Equi-key attribute per stream (the probing male looks up the
+            #: opposite index with its *own* stream's attribute value).
+            self._key_attrs: dict[str, str] = {
+                left_stream: condition.left_attribute,
+                right_stream: condition.right_attribute,
+            }
+            self._indexes: dict[str, dict[Any, Deque[StreamTuple]]] | None = {
+                left_stream: defaultdict(deque),
+                right_stream: defaultdict(deque),
+            }
+        else:
+            self._indexes = None
 
     # -- state introspection --------------------------------------------------------
     def _declares_state(self) -> bool:
@@ -252,6 +290,33 @@ class SlicedBinaryJoin(Operator):
 
     def state_tuples(self, stream: str) -> list[StreamTuple]:
         return list(self._states[stream])
+
+    def load_state(self, stream: str, tuples: Iterable[StreamTuple]) -> None:
+        """Replace one stream's sliced state (migration helper).
+
+        Used by the chain's merge migration; the hash index, when enabled,
+        is rebuilt so that probing stays correct across migrations.
+        """
+        self._states[stream] = deque(tuples)
+        if self._indexes is not None:
+            index: dict[Any, Deque[StreamTuple]] = defaultdict(deque)
+            attribute = self._key_attrs[stream]
+            for tup in self._states[stream]:
+                index[tup[attribute]].append(tup)
+            self._indexes[stream] = index
+
+    def _insert(self, stream: str, tup: StreamTuple) -> None:
+        self._states[stream].append(tup)
+        if self._indexes is not None:
+            self._indexes[stream][tup[self._key_attrs[stream]]].append(tup)
+
+    def _unindex_head(self, stream: str, head: StreamTuple) -> None:
+        """Drop the oldest tuple of ``stream`` from the hash index."""
+        index = self._indexes[stream]
+        bucket = index[head[self._key_attrs[stream]]]
+        bucket.popleft()
+        if not bucket:
+            del index[head[self._key_attrs[stream]]]
 
     # -- execution (Figure 9) ----------------------------------------------------------
     def process(self, item: Any, port: str) -> list[Emission]:
@@ -283,6 +348,8 @@ class SlicedBinaryJoin(Operator):
         if not chain_port and port not in ("left", "right"):
             raise PlanError(f"unexpected port {port!r} for {self.name!r}")
         states = self._states
+        indexes = self._indexes
+        key_attrs = self._key_attrs if indexes is not None else None
         left_stream = self.left_stream
         right_stream = self.right_stream
         end = self.slice.end
@@ -309,6 +376,8 @@ class SlicedBinaryJoin(Operator):
                 if item.gender == FEMALE:
                     # Insert: the female copy fills its own sliced state.
                     states[stream].append(base)
+                    if indexes is not None:
+                        indexes[stream][base[key_attrs[stream]]].append(base)
                     continue
                 ref = item
                 insert_after = False
@@ -339,18 +408,24 @@ class SlicedBinaryJoin(Operator):
                 head = state[0]
                 if ts - head.timestamp >= end:
                     state.popleft()
+                    if indexes is not None:
+                        self._unindex_head(opposite, head)
                     append(("next", RefTuple(head, FEMALE)))
                 else:
                     break
-            probe_count += len(state)
+            if indexes is not None:
+                candidates = indexes[opposite].get(base[key_attrs[stream]], ())
+            else:
+                candidates = state
+            probe_count += len(candidates)
             if stream == left_stream:
-                for candidate in state:
+                for candidate in candidates:
                     if enforce and not contains_offset(ts - candidate.timestamp):
                         continue
                     if matches(base, candidate):
                         append(("output", JoinedTuple(base, candidate)))
             else:
-                for candidate in state:
+                for candidate in candidates:
                     if enforce and not contains_offset(ts - candidate.timestamp):
                         continue
                     if matches(candidate, base):
@@ -361,6 +436,8 @@ class SlicedBinaryJoin(Operator):
                 # The female copy of a raw arrival fills its own state after
                 # the male finished, matching :meth:`_process_arrival`.
                 states[stream].append(base)
+                if indexes is not None:
+                    indexes[stream][base[key_attrs[stream]]].append(base)
         self.metrics.record_invocation(name, len(batch))
         self.metrics.count(CostCategory.PURGE, purge_count)
         self.metrics.count(CostCategory.PROBE, probe_count)
@@ -386,7 +463,7 @@ class SlicedBinaryJoin(Operator):
     def _process_reference(self, ref: RefTuple) -> list[Emission]:
         if ref.is_female():
             # Insert: the female copy fills its own sliced state.
-            self._states[ref.stream].append(ref.base)
+            self._insert(ref.stream, ref.base)
             return []
         return self._process_male(ref)
 
@@ -401,12 +478,21 @@ class SlicedBinaryJoin(Operator):
             head = state[0]
             if ref.timestamp - head.timestamp >= self.slice.end:
                 state.popleft()
+                if self._indexes is not None:
+                    self._unindex_head(opposite, head)
                 emissions.append(("next", RefTuple(head, FEMALE)))
             else:
                 break
         self.metrics.count(CostCategory.PURGE, comparisons)
-        # 2. Probe the opposite sliced state.
-        for candidate in state:
+        # 2. Probe the opposite sliced state (one hash bucket when indexed).
+        if self._indexes is not None:
+            probe_key = ref.base[self._key_attrs[ref.stream]]
+            candidates: Iterable[StreamTuple] = self._indexes[opposite].get(
+                probe_key, ()
+            )
+        else:
+            candidates = state
+        for candidate in candidates:
             self.metrics.count(CostCategory.PROBE)
             if self.enforce_bounds and not self.slice.contains_offset(
                 ref.timestamp - candidate.timestamp

@@ -10,6 +10,7 @@ in place — so no in-flight join state is lost or duplicated.
 """
 
 from repro.runtime.engine import (
+    CountStreamEngine,
     EngineStats,
     MigrationEvent,
     RegisteredQuery,
@@ -17,6 +18,7 @@ from repro.runtime.engine import (
 )
 
 __all__ = [
+    "CountStreamEngine",
     "EngineStats",
     "MigrationEvent",
     "RegisteredQuery",

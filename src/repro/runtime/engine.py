@@ -3,9 +3,9 @@
 :class:`StreamEngine` is the first-class API for the scenario that
 ``examples/online_migration.py`` used to hand-roll: a set of window-join
 queries over two streams that *changes while the stream is running*.  The
-engine owns one shared :class:`~repro.core.chain.SlicedJoinChain` and keeps
-it consistent with the registered queries using the paper's online
-migration primitives (Section 5.3):
+engine owns one shared chain of sliced joins and keeps it consistent with
+the registered queries using the paper's online migration primitives
+(Section 5.3):
 
 * ``add_query`` with a window that falls inside an existing slice *splits*
   that slice at the new boundary;
@@ -18,33 +18,80 @@ Every migration is a drain-and-splice: the engine first flushes any
 buffered arrival batch (so all inter-slice queues are empty — the drain),
 then rewrites the slice boundaries in place (the splice).  In-flight join
 state is never copied out of the chain, so nothing is lost and nothing is
-duplicated; the equivalence is asserted by
-``tests/test_runtime_engine.py``.
+duplicated; the equivalence is asserted by ``tests/test_runtime_engine.py``
+and fuzzed against a per-query unshared baseline by
+``tests/test_fuzz_differential.py``.
 
-Arrivals are processed through the vectorized
-:meth:`~repro.core.chain.SlicedJoinChain.process_batch` path in batches of
-``batch_size`` (1 = per-tuple).  Per-query results are delivered in
-timestamp order (ties broken by sequence numbers), which makes the output
-independent of the batch size.
+Three dimensions of the paper's query model are admitted:
+
+**Selections** (Section 6) — a query may carry a predicate per input
+stream.  On every admission or removal the engine re-derives the shared
+push-down placement: the disjunction σ'_i of the predicates of all queries
+whose window reaches slice ``i`` is spliced into the chain link in front of
+that slice (as :class:`~repro.operators.selection.StreamFilter` operators),
+and each query applies its *residual* predicate to the results it taps —
+re-evaluated only where the pushed disjunction is weaker than the query's
+own predicate.  Filter splicing rides the same drain-and-splice migration,
+so the placement stays optimal as the query set evolves.
+
+**Count-based windows** — ``window_kind="count"`` (or the
+:class:`CountStreamEngine` convenience subclass) runs the same admission
+protocol over a :class:`~repro.core.count_chain.CountSlicedJoinChain`,
+whose boundaries are tuple *ranks* instead of time offsets.  Count-window
+sessions always keep the Mem-Opt chain (one boundary per registered count):
+a merged slice's results cannot be re-split by rank at routing time, since
+a tuple's rank — unlike a timestamp gap — is not derivable from the joined
+pair itself.  For the same reason selections are *not* pushed into a count
+chain: a pushed filter would change which tuples occupy the "most recent
+N" ranks, silently redefining every query's window.  Count-window
+selections are therefore applied to each query's results (window semantics:
+the N most recent *arrivals*, selections filter the answers).
+
+**Hash probing** — ``probe="hash"`` (equi-join conditions only, or
+``"auto"``) makes every slice maintain a per-stream hash index on the
+equi-key, so a probing tuple examines one bucket instead of the whole
+sliced state.  Indexes survive split/merge migrations (rebuilt by the
+chain's ``load_state``); the ≥2× throughput gate lives in
+``benchmarks/test_hash_probe.py``.
+
+Arrivals are processed through the vectorized ``process_batch`` path in
+batches of ``batch_size`` (1 = per-tuple).  Per-query results are delivered
+in timestamp order (ties broken by sequence numbers), which makes the
+output independent of the batch size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable
 
 from repro.core.chain import SlicedJoinChain
+from repro.core.count_chain import CountSlicedJoinChain
 from repro.core.cpu_opt import build_cpu_opt_chain
 from repro.core.merge_graph import ChainCostParameters
+from repro.core.pushdown import residual_predicate
 from repro.engine.errors import MigrationError, QueryError
-from repro.engine.metrics import MetricsCollector
-from repro.query.predicates import JoinCondition
+from repro.engine.metrics import CostCategory, MetricsCollector
+from repro.operators.sliced_join import resolve_probe
+from repro.query.predicates import JoinCondition, Predicate, TruePredicate
 from repro.query.query import ContinuousQuery, QueryWorkload
 from repro.streams.tuples import JoinedTuple, StreamTuple
 
-__all__ = ["EngineStats", "MigrationEvent", "RegisteredQuery", "StreamEngine"]
+__all__ = [
+    "CountStreamEngine",
+    "EngineStats",
+    "MigrationEvent",
+    "RegisteredQuery",
+    "StreamEngine",
+]
 
 _EPSILON = 1e-9
+
+#: One per-slice routing entry: ``(query, window_check, left_res, right_res)``.
+#: ``window_check`` is None when every result of the slice is inside the
+#: query's window; the residual predicates are None when already implied by
+#: the filter pushed below the slice.
+_Route = tuple[str, float | None, Predicate | None, Predicate | None]
 
 
 @dataclass(frozen=True)
@@ -52,8 +99,16 @@ class RegisteredQuery:
     """One continuous query currently admitted to a :class:`StreamEngine`."""
 
     name: str
-    window: float
+    window: float  #: Seconds for time-window sessions, ranks for count-window.
     registered_at: int  #: Arrival count at admission time.
+    left_filter: Predicate = field(default_factory=TruePredicate)
+    right_filter: Predicate = field(default_factory=TruePredicate)
+
+    @property
+    def has_selection(self) -> bool:
+        return not isinstance(self.left_filter, TruePredicate) or not isinstance(
+            self.right_filter, TruePredicate
+        )
 
 
 @dataclass(frozen=True)
@@ -92,6 +147,14 @@ class StreamEngine:
         per-tuple.  Results are independent of the batch size.
     metrics:
         Optional shared metrics collector for cost accounting.
+    window_kind:
+        ``"time"`` (default) for sliding windows in seconds over a
+        :class:`~repro.core.chain.SlicedJoinChain`, or ``"count"`` for
+        most-recent-N-tuples windows over a
+        :class:`~repro.core.count_chain.CountSlicedJoinChain`.
+    probe:
+        Probe algorithm of every slice: ``"nested_loop"`` (the paper's cost
+        model), ``"hash"`` (equi-join conditions only) or ``"auto"``.
     """
 
     def __init__(
@@ -101,45 +164,51 @@ class StreamEngine:
         right_stream: str = "B",
         batch_size: int = 32,
         metrics: MetricsCollector | None = None,
+        window_kind: str = "time",
+        probe: str = "nested_loop",
     ) -> None:
+        if window_kind not in ("time", "count"):
+            raise QueryError(
+                f"window_kind must be 'time' or 'count', got {window_kind!r}"
+            )
         self.condition = condition
         self.left_stream = left_stream
         self.right_stream = right_stream
         self.batch_size = max(1, int(batch_size))
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.window_kind = window_kind
+        self.probe = probe
         self.stats = EngineStats()
-        self._chain: SlicedJoinChain | None = None
+        self._chain: SlicedJoinChain | CountSlicedJoinChain | None = None
         self._queries: dict[str, RegisteredQuery] = {}
         self._results: dict[str, list[JoinedTuple]] = {}
         self._pending: list[StreamTuple] = []
-        #: Per-slice routing table: ``[(query_name, window_check)]`` where
-        #: ``window_check`` is None when every result of the slice belongs to
-        #: the query outright (slice end <= query window).
-        self._routing: list[list[tuple[str, float | None]]] = []
+        self._routing: list[list[_Route]] = []
 
     # -- admission -------------------------------------------------------------
-    def add_query(self, name: str, window: float) -> RegisteredQuery:
+    def add_query(
+        self,
+        name: str,
+        window: float,
+        left_filter: Predicate | None = None,
+        right_filter: Predicate | None = None,
+    ) -> RegisteredQuery:
         """Admit a query while the stream is running.
 
         The chain is migrated incrementally (split or append); state already
         resident in the chain is untouched, so the new query immediately
         sees every stored tuple that falls inside its window — exactly the
         results of a fresh shared plan over the remaining stream suffix.
+        ``left_filter`` / ``right_filter`` are optional selection predicates
+        over the respective input stream; the engine re-derives the shared
+        push-down placement as part of the same migration.
         """
         if name in self._queries:
             raise QueryError(f"query {name!r} is already registered")
-        window = float(window)
-        if window <= 0:
-            raise QueryError(f"query {name!r} has non-positive window {window}")
+        window = self._normalize_window(name, window)
         self._drain()
         if self._chain is None:
-            self._chain = SlicedJoinChain(
-                [0.0, window],
-                self.condition,
-                left_stream=self.left_stream,
-                right_stream=self.right_stream,
-                metrics=self.metrics,
-            )
+            self._chain = self._make_chain(window)
             self._record_migration("create", window)
         else:
             chain = self._chain
@@ -155,18 +224,25 @@ class StreamEngine:
                     )
                 chain.split_slice(index, window)
                 self._record_migration("split", window)
-        query = RegisteredQuery(name, window, self.stats.arrivals)
+        query = RegisteredQuery(
+            name,
+            window,
+            self.stats.arrivals,
+            left_filter if left_filter is not None else TruePredicate(),
+            right_filter if right_filter is not None else TruePredicate(),
+        )
         self._queries[name] = query
         self._results[name] = []
-        self._rebuild_routing()
+        self._refresh_plan()
         return query
 
     def remove_query(self, name: str) -> list[JoinedTuple]:
         """Deregister a query and return the results delivered to it.
 
         Boundaries no longer needed by any remaining query are merged away
-        (or the tail slice is dropped when the largest window leaves); the
-        remaining queries keep producing exactly the same results.
+        (or the tail slice is dropped when the largest window leaves), and
+        the pushed-down filters are re-derived for the remaining queries;
+        those queries keep producing exactly the same results.
         """
         try:
             query = self._queries.pop(name)
@@ -180,7 +256,7 @@ class StreamEngine:
             self._record_migration("teardown", query.window)
             return delivered
         if self._boundary_needed(query.window):
-            self._rebuild_routing()
+            self._refresh_plan()
             return delivered
         chain = self._chain
         assert chain is not None
@@ -191,7 +267,9 @@ class StreamEngine:
             # query).  A prior rebalance may have merged the new largest
             # window's boundary away, so re-introduce it with a split first;
             # the next cross-purges then expel the now-too-old tuples off
-            # the shortened chain end.
+            # the shortened chain end.  (Count-window sessions keep the
+            # Mem-Opt invariant — every registered count is a boundary — so
+            # the split branch never triggers there.)
             index = chain.slice_index_containing(max_window)
             if index is not None:
                 chain.split_slice(index, max_window)
@@ -199,7 +277,7 @@ class StreamEngine:
             dropped = False
             while (
                 chain.slice_count() > 1
-                and chain.joins[-1].slice.start >= max_window - _EPSILON
+                and self._tail_start() >= max_window - _EPSILON
             ):
                 chain.drop_tail_slice()
                 dropped = True
@@ -210,8 +288,40 @@ class StreamEngine:
             if index is not None and index < chain.slice_count() - 1:
                 chain.merge_slices(index)
                 self._record_migration("merge", query.window)
-        self._rebuild_routing()
+        self._refresh_plan()
         return delivered
+
+    def _normalize_window(self, name: str, window: float) -> float:
+        if self.window_kind == "count":
+            if window != int(window) or int(window) <= 0:
+                raise QueryError(
+                    f"query {name!r} needs a positive integer count window, "
+                    f"got {window!r}"
+                )
+            return int(window)
+        window = float(window)
+        if window <= 0:
+            raise QueryError(f"query {name!r} has non-positive window {window}")
+        return window
+
+    def _make_chain(self, window: float) -> SlicedJoinChain | CountSlicedJoinChain:
+        chain_cls = SlicedJoinChain if self.window_kind == "time" else CountSlicedJoinChain
+        return chain_cls(
+            [0, window],
+            self.condition,
+            left_stream=self.left_stream,
+            right_stream=self.right_stream,
+            metrics=self.metrics,
+            probe=self.probe,
+        )
+
+    def _tail_start(self) -> float:
+        chain = self._chain
+        assert chain is not None
+        tail = chain.joins[-1]
+        if self.window_kind == "time":
+            return tail.slice.start
+        return tail.rank_start
 
     def _boundary_needed(self, window: float) -> bool:
         return any(
@@ -253,13 +363,22 @@ class StreamEngine:
         routing = self._routing
         results = self._results
         block: dict[str, list[JoinedTuple]] = {}
+        select_count = 0
         for index, joined in chain.process_batch(batch):
             gap = None
-            for query_name, window in routing[index]:
+            for query_name, window, left_res, right_res in routing[index]:
                 if window is not None:
                     if gap is None:
                         gap = abs(joined.left.timestamp - joined.right.timestamp)
                     if gap >= window:
+                        continue
+                if left_res is not None:
+                    select_count += 1
+                    if not left_res.matches(joined.left):
+                        continue
+                if right_res is not None:
+                    select_count += 1
+                    if not right_res.matches(joined.right):
                         continue
                 block.setdefault(query_name, []).append(joined)
         delivered = 0
@@ -269,6 +388,8 @@ class StreamEngine:
             items.sort(key=lambda j: (j.timestamp, j.left.seqno, j.right.seqno))
             results[query_name].extend(items)
             delivered += len(items)
+        if select_count:
+            self.metrics.count(CostCategory.SELECT, select_count)
         self.stats.results_delivered += delivered
         self.metrics.sample_memory(batch[-1].timestamp, chain.state_size())
 
@@ -300,10 +421,22 @@ class StreamEngine:
         graph; the live chain is then moved there incrementally — splits
         first (they only need an enclosing slice), merges second — with the
         usual drain-and-splice discipline, so the session keeps running.
+        Time-window sessions only: a count-window session keeps the Mem-Opt
+        chain (see the class docstring).
         """
         if not self._queries:
             raise MigrationError("cannot rebalance an engine with no queries")
+        if self.window_kind != "time":
+            raise MigrationError(
+                "count-window sessions keep the Mem-Opt chain: merged rank "
+                "slices cannot be re-split by the result router"
+            )
         self._drain()
+        if resolve_probe(self.probe, self.condition) == "hash" and not params.hash_probe:
+            # Price the probes the way this session actually executes them:
+            # a hash session probing one equi-key bucket per arrival must not
+            # be rebalanced against the nested-loop cost model.
+            params = replace(params, hash_probe=True)
         workload = self.workload()
         target = [0.0] + build_cpu_opt_chain(workload, params).boundaries()[1:]
         chain = self._chain
@@ -320,7 +453,7 @@ class StreamEngine:
                 if index is not None:
                     chain.merge_slices(index)
                     self._record_migration("merge", boundary)
-        self._rebuild_routing()
+        self._refresh_plan()
         return tuple(chain.boundaries)
 
     # -- introspection ---------------------------------------------------------
@@ -347,12 +480,24 @@ class StreamEngine:
                     name=query.name,
                     window=query.window,
                     join_condition=self.condition,
+                    left_filter=query.left_filter,
+                    right_filter=query.right_filter,
                     left_stream=self.left_stream,
                     right_stream=self.right_stream,
                 )
                 for query in self._queries.values()
             ]
         )
+
+    def link_filters(self) -> list[tuple[Predicate | None, Predicate | None]]:
+        """The pushed-down predicates currently installed, one pair per link.
+
+        Time-window sessions only (count chains carry no pushed filters);
+        an idle engine returns an empty list.
+        """
+        if self._chain is None or self.window_kind != "time":
+            return []
+        return self._chain.link_filters()
 
     def slice_count(self) -> int:
         return self._chain.slice_count() if self._chain is not None else 0
@@ -366,31 +511,110 @@ class StreamEngine:
     def describe(self) -> str:
         if self._chain is None:
             return "StreamEngine (idle: no registered queries)"
-        queries = ", ".join(
-            f"{q.name}[{q.window:g}s]" for q in self.queries()
-        )
-        return f"StreamEngine ({queries}) chain: {self._chain.describe()}"
+        unit = "s" if self.window_kind == "time" else " rows"
+        parts = []
+        for q in self.queries():
+            label = f"{q.name}[{q.window:g}{unit}]"
+            if q.has_selection:
+                label += "σ"
+            parts.append(label)
+        return f"StreamEngine ({', '.join(parts)}) chain: {self._chain.describe()}"
 
     # -- internals -------------------------------------------------------------
-    def _rebuild_routing(self) -> None:
-        """Recompute the per-slice result routing after any migration.
+    def _refresh_plan(self) -> None:
+        """Re-derive the pushed-down filters and result routing.
 
-        A query taps every slice that starts inside its window; a window
-        check is needed only where the slice extends past the window (a
-        merged or split slice serving a smaller query, the router check of
-        Figure 13(b))."""
+        Called after every admission, removal and rebalance — the splice
+        half of drain-and-splice for the selection placement: the σ'
+        disjunctions in front of each slice and the per-query residuals
+        both depend on the current query set *and* the current boundaries.
+        The per-slice pushed pairs are derived once and feed both halves,
+        so the installed filters and the residual routing cannot drift
+        apart.
+        """
         chain = self._chain
         if chain is None:
             self._routing = []
             return
-        routing: list[list[tuple[str, float | None]]] = []
-        for join in chain.joins:
-            slice_routes: list[tuple[str, float | None]] = []
+        pushdown = self.window_kind == "time" and any(
+            query.has_selection for query in self._queries.values()
+        )
+        pushed: list[tuple[Predicate, Predicate]] | None = None
+        if pushdown:
+            workload = self.workload()
+            pushed = [
+                (
+                    workload.slice_filter(self._slice_bounds(join)[0], side="left"),
+                    workload.slice_filter(self._slice_bounds(join)[0], side="right"),
+                )
+                for join in chain.joins
+            ]
+        self._refresh_filters(pushed)
+        self._rebuild_routing(pushed)
+
+    def _refresh_filters(
+        self, pushed: list[tuple[Predicate, Predicate]] | None
+    ) -> None:
+        chain = self._chain
+        if chain is None or self.window_kind != "time":
+            return
+        assert isinstance(chain, SlicedJoinChain)
+        if pushed is None:
+            chain.set_link_filters([(None, None)] * chain.slice_count())
+            return
+        chain.set_link_filters(pushed)
+
+    def _slice_bounds(self, join) -> tuple[float, float]:
+        if self.window_kind == "time":
+            return join.slice.start, join.slice.end
+        return join.rank_start, join.rank_end
+
+    def _rebuild_routing(
+        self, pushed: list[tuple[Predicate, Predicate]] | None
+    ) -> None:
+        """Recompute the per-slice result routing after any migration.
+
+        A query taps every slice that starts inside its window.  A window
+        check is needed only where the slice extends past the window (a
+        merged or split slice serving a smaller query, the router check of
+        Figure 13(b)); count-window sessions never need it because every
+        registered count stays a chain boundary.  A residual predicate is
+        attached wherever the query's own selection is stronger than the
+        disjunction pushed below the slice (σ' of Figure 10)."""
+        chain = self._chain
+        if chain is None:
+            self._routing = []
+            return
+        time_kind = self.window_kind == "time"
+        trivial = TruePredicate()
+        routing: list[list[_Route]] = []
+        for slice_index, join in enumerate(chain.joins):
+            start, end = self._slice_bounds(join)
+            if pushed is not None:
+                pushed_left, pushed_right = pushed[slice_index]
+            else:
+                pushed_left = pushed_right = trivial
+            slice_routes: list[_Route] = []
             for query in self._queries.values():
-                if join.slice.end <= query.window + _EPSILON:
-                    slice_routes.append((query.name, None))
-                elif join.slice.start < query.window - _EPSILON:
-                    slice_routes.append((query.name, query.window))
+                if end <= query.window + _EPSILON:
+                    window_check: float | None = None
+                elif start < query.window - _EPSILON:
+                    if not time_kind:  # pragma: no cover - Mem-Opt invariant
+                        raise MigrationError(
+                            f"count boundary {query.window:g} lost from chain "
+                            f"{chain.describe()}"
+                        )
+                    window_check = query.window
+                else:
+                    continue
+                slice_routes.append(
+                    (
+                        query.name,
+                        window_check,
+                        _residual(query.left_filter, pushed_left),
+                        _residual(query.right_filter, pushed_right),
+                    )
+                )
             routing.append(slice_routes)
         self._routing = routing
 
@@ -406,6 +630,43 @@ class StreamEngine:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
-            f"<StreamEngine queries={len(self._queries)} "
+            f"<StreamEngine kind={self.window_kind} queries={len(self._queries)} "
             f"slices={self.slice_count()} arrivals={self.stats.arrivals}>"
+        )
+
+
+def _residual(query_filter: Predicate, pushed: Predicate) -> Predicate | None:
+    """:func:`repro.core.pushdown.residual_predicate` for the routing table,
+    with trivial residuals collapsed to ``None`` (nothing to re-check)."""
+    residual = residual_predicate(query_filter, pushed)
+    return None if isinstance(residual, TruePredicate) else residual
+
+
+class CountStreamEngine(StreamEngine):
+    """A :class:`StreamEngine` over count-based windows.
+
+    Convenience subclass: ``CountStreamEngine(condition)`` is
+    ``StreamEngine(condition, window_kind="count")``.  Windows are positive
+    integer tuple counts ("the N most recent arrivals of each stream");
+    selections are applied to each query's results (see the base class
+    notes on why rank-based windows cannot share pushed-down filters).
+    """
+
+    def __init__(
+        self,
+        condition: JoinCondition,
+        left_stream: str = "A",
+        right_stream: str = "B",
+        batch_size: int = 32,
+        metrics: MetricsCollector | None = None,
+        probe: str = "nested_loop",
+    ) -> None:
+        super().__init__(
+            condition,
+            left_stream=left_stream,
+            right_stream=right_stream,
+            batch_size=batch_size,
+            metrics=metrics,
+            window_kind="count",
+            probe=probe,
         )

@@ -1,0 +1,312 @@
+"""Differential fuzzing of the StreamEngine against an unshared baseline.
+
+Each seeded scenario draws a random query set — windows (time- or
+count-based), per-stream selection predicates, an equi- or non-equi join
+condition, a probe algorithm and a batch size — plus a random add/remove
+schedule, runs it through one shared :class:`~repro.runtime.StreamEngine`
+session, and asserts that every query's delivered results are *identical*
+to an independent per-query unshared baseline: a brute-force evaluation of
+that query alone over the full stream, restricted to the results whose
+completing tuple arrived while the query was registered.
+
+Exactness discipline
+--------------------
+A query admitted mid-stream sees the history already retained by the
+shared chain.  For the shared results to be *provably* equal to the
+unshared baseline, that history must be complete — nothing the new query
+needs may have been dropped before its admission.  Every scenario therefore
+contains an **umbrella query**, registered before the first arrival and
+never removed, whose window is the scenario's largest and whose per-side
+predicate is the *weakest* in the scenario (the disjunction pushed in front
+of any slice then always admits every tuple any query can need, and the
+chain end never shrinks below any admissible window).  Within that
+discipline the schedules, predicates, windows, batch sizes and probe
+algorithms are unconstrained — and the pushed-down filters still drop
+tuples no query needs, so the selection push-down machinery is exercised
+for real (scenarios whose weakest predicate is non-trivial shed state;
+see ``test_pushed_filters_do_drop_state``).
+
+The suite runs 220 scenarios (140 time-window, 80 count-window), seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.query.predicates import (
+    ComparisonPredicate,
+    CrossProductCondition,
+    EquiJoinCondition,
+    Predicate,
+    selectivity_join,
+)
+from repro.runtime import StreamEngine
+from repro.streams.tuples import StreamTuple, make_tuple
+
+TIME_SCENARIOS = 140
+COUNT_SCENARIOS = 80
+
+TIME_WINDOWS = (1.0, 1.5, 2.0, 3.0, 4.0)
+COUNT_WINDOWS = (2, 3, 5, 8, 12)
+THRESHOLDS = (0.15, 0.3, 0.5, 0.7, 0.85)
+BATCH_SIZES = (1, 2, 5, 16, 64)
+ARRIVALS = 110
+FOREVER = 10**9
+
+
+# ---------------------------------------------------------------------------
+# Scenario generation
+# ---------------------------------------------------------------------------
+def make_stream(rng: random.Random, key_domain: int) -> list[StreamTuple]:
+    """A dense two-stream arrival sequence with controllable key density."""
+    tuples = []
+    timestamp = 0.0
+    for _ in range(ARRIVALS):
+        timestamp += rng.expovariate(8.0)
+        tuples.append(
+            make_tuple(
+                rng.choice("AB"),
+                timestamp,
+                join_key=rng.randrange(key_domain),
+                value=rng.random(),
+            )
+        )
+    return tuples
+
+
+def draw_condition(rng: random.Random):
+    kind = rng.choice(("equi", "equi", "modular", "cross"))
+    if kind == "equi":
+        domain = rng.choice((3, 5, 8))
+        return EquiJoinCondition("join_key", "join_key", key_domain=domain), domain
+    if kind == "modular":
+        return selectivity_join(rng.choice((0.2, 0.35))), 10
+    return CrossProductCondition(), 10
+
+
+def draw_filter(rng: random.Random) -> Predicate | None:
+    if rng.random() < 0.4:
+        return None
+    threshold = rng.choice(THRESHOLDS)
+    return ComparisonPredicate("value", ">", threshold, selectivity=1 - threshold)
+
+
+def weakest(filters: list[Predicate | None]) -> Predicate | None:
+    """The umbrella predicate: implied by every per-query predicate."""
+    if any(predicate is None for predicate in filters):
+        return None
+    threshold = min(predicate.constant for predicate in filters)
+    return ComparisonPredicate("value", ">", threshold, selectivity=1 - threshold)
+
+
+def draw_schedule(rng: random.Random, count: int) -> list[tuple[int, int]]:
+    """Per-query (admission, removal) arrival indexes; removal may be never."""
+    schedule = []
+    for _ in range(count):
+        admit = rng.randrange(0, ARRIVALS - 20)
+        remove = (
+            rng.randrange(admit + 1, ARRIVALS) if rng.random() < 0.5 else FOREVER
+        )
+        schedule.append((admit, remove))
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+# Unshared per-query baselines (brute force over the full stream)
+# ---------------------------------------------------------------------------
+def baseline_time(tuples, condition, window, left_filter, right_filter, interval):
+    """All pairs a time-window join delivers while the query is registered."""
+    pairs = set()
+    lefts = [(i, t) for i, t in enumerate(tuples) if t.stream == "A"]
+    rights = [(i, t) for i, t in enumerate(tuples) if t.stream == "B"]
+    for ia, a in lefts:
+        for ib, b in rights:
+            if abs(a.timestamp - b.timestamp) >= window:
+                continue
+            if not condition.matches(a, b):
+                continue
+            if left_filter is not None and not left_filter.matches(a):
+                continue
+            if right_filter is not None and not right_filter.matches(b):
+                continue
+            completing = max(ia, ib)
+            if interval[0] <= completing < interval[1]:
+                pairs.add((a.seqno, b.seqno))
+    return pairs
+
+
+def baseline_count(tuples, condition, count, left_filter, right_filter, interval):
+    """All pairs a count-window join delivers while the query is registered.
+
+    Window semantics of the engine: an arriving tuple joins the ``count``
+    most recent tuples of the opposite stream (selections filter the
+    answers, not the ranks — see the CountStreamEngine docstring).
+    """
+    pairs = set()
+    seen = {"A": [], "B": []}
+    for index, tup in enumerate(tuples):
+        other = "B" if tup.stream == "A" else "A"
+        for candidate in seen[other][-count:]:
+            left, right = (
+                (tup, candidate) if tup.stream == "A" else (candidate, tup)
+            )
+            if not condition.matches(left, right):
+                continue
+            if left_filter is not None and not left_filter.matches(left):
+                continue
+            if right_filter is not None and not right_filter.matches(right):
+                continue
+            if interval[0] <= index < interval[1]:
+                pairs.add((left.seqno, right.seqno))
+        seen[tup.stream].append(tup)
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# One scenario
+# ---------------------------------------------------------------------------
+def run_scenario(seed: int, window_kind: str) -> None:
+    rng = random.Random(seed)
+    condition, key_domain = draw_condition(rng)
+    tuples = make_stream(rng, key_domain)
+    windows = TIME_WINDOWS if window_kind == "time" else COUNT_WINDOWS
+    baseline = baseline_time if window_kind == "time" else baseline_count
+
+    query_count = rng.randint(2, 4)
+    satellite_windows = [rng.choice(windows) for _ in range(query_count)]
+    left_filters = [draw_filter(rng) for _ in range(query_count)]
+    right_filters = [draw_filter(rng) for _ in range(query_count)]
+    schedule = draw_schedule(rng, query_count)
+
+    # The umbrella query (see the module docstring): largest window of the
+    # scenario, weakest predicate per side, registered throughout.
+    umbrella_window = max(max(satellite_windows), windows[-1])
+    umbrella_left = weakest(left_filters)
+    umbrella_right = weakest(right_filters)
+
+    if isinstance(condition, EquiJoinCondition):
+        probe = rng.choice(("nested_loop", "hash", "auto"))
+    else:
+        probe = rng.choice(("nested_loop", "auto"))
+    batch_size = rng.choice(BATCH_SIZES)
+
+    engine = StreamEngine(
+        condition,
+        batch_size=batch_size,
+        window_kind=window_kind,
+        probe=probe,
+    )
+    engine.add_query(
+        "umbrella",
+        umbrella_window,
+        left_filter=umbrella_left,
+        right_filter=umbrella_right,
+    )
+    admissions = {}
+    removals = {}
+    for qi, (admit, remove) in enumerate(schedule):
+        admissions.setdefault(admit, []).append(qi)
+        if remove < FOREVER:
+            removals.setdefault(remove, []).append(qi)
+
+    delivered: dict[str, list] = {}
+    for index, tup in enumerate(tuples):
+        for qi in removals.get(index, ()):
+            delivered[f"Q{qi}"] = engine.remove_query(f"Q{qi}")
+        for qi in admissions.get(index, ()):
+            engine.add_query(
+                f"Q{qi}",
+                satellite_windows[qi],
+                left_filter=left_filters[qi],
+                right_filter=right_filters[qi],
+            )
+        engine.process(tup)
+    engine.flush()
+    assert engine.states_are_disjoint(), f"seed {seed}: overlapping slice states"
+    delivered["umbrella"] = engine.results("umbrella")
+    for qi, (admit, remove) in enumerate(schedule):
+        if remove >= FOREVER:
+            delivered[f"Q{qi}"] = engine.results(f"Q{qi}")
+
+    specs = [("umbrella", umbrella_window, umbrella_left, umbrella_right, (0, FOREVER))]
+    specs.extend(
+        (
+            f"Q{qi}",
+            satellite_windows[qi],
+            left_filters[qi],
+            right_filters[qi],
+            schedule[qi],
+        )
+        for qi in range(query_count)
+    )
+    label = (
+        f"seed {seed} [{window_kind}] cond={condition.describe()} "
+        f"probe={probe} batch={batch_size}"
+    )
+    for name, window, left_filter, right_filter, interval in specs:
+        got = [(j.left.seqno, j.right.seqno) for j in delivered[name]]
+        assert len(got) == len(set(got)), f"{label}: {name} delivered duplicates"
+        expected = baseline(
+            tuples, condition, window, left_filter, right_filter, interval
+        )
+        assert set(got) == expected, (
+            f"{label}: {name} (window {window:g}, interval {interval}) "
+            f"delivered {len(got)} pairs, baseline has {len(expected)}; "
+            f"missing={sorted(expected - set(got))[:5]} "
+            f"extra={sorted(set(got) - expected)[:5]}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The suites: >= 200 seeded scenarios in total
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("chunk", range(14))
+def test_fuzz_time_window_sessions(chunk):
+    for seed in range(chunk * 10, chunk * 10 + 10):
+        run_scenario(seed, "time")
+
+
+@pytest.mark.parametrize("chunk", range(8))
+def test_fuzz_count_window_sessions(chunk):
+    for seed in range(1000 + chunk * 10, 1000 + chunk * 10 + 10):
+        run_scenario(seed, "count")
+
+
+def test_scenario_space_is_large_enough():
+    """The fuzz must cover >= 200 scenarios (acceptance gate of PR 2)."""
+    assert TIME_SCENARIOS + COUNT_SCENARIOS >= 200
+    assert TIME_SCENARIOS == 14 * 10
+    assert COUNT_SCENARIOS == 8 * 10
+
+
+def test_pushed_filters_do_drop_state():
+    """At least some scenarios exercise non-trivial pushed-down filters.
+
+    A time-window session whose weakest predicate is non-trivial must store
+    strictly less state than an unfiltered session over the same stream —
+    i.e. the differential equality above is not vacuous for the push-down
+    path.
+    """
+    rng = random.Random(424242)
+    tuples = make_stream(rng, 5)
+    condition = EquiJoinCondition("join_key", "join_key", key_domain=5)
+    strong = ComparisonPredicate("value", ">", 0.5, selectivity=0.5)
+
+    filtered = StreamEngine(condition, batch_size=16)
+    filtered.add_query("Q", 4.0, left_filter=strong, right_filter=strong)
+    filtered.process_many(tuples)
+    filtered.flush()
+
+    unfiltered = StreamEngine(condition, batch_size=16)
+    unfiltered.add_query("Q", 4.0)
+    unfiltered.process_many(tuples)
+    unfiltered.flush()
+
+    assert filtered.state_size() < unfiltered.state_size()
+    assert all(
+        left is not None and right is not None
+        for left, right in filtered.link_filters()
+    )

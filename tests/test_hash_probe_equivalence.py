@@ -1,0 +1,205 @@
+"""Property tests: hash probing ≡ nested-loop probing.
+
+The hash probe path of the sliced joins keeps a per-stream, per-slice index
+on the equi-join key, maintained under insert and expire and rebuilt across
+slice split/merge migrations.  These properties assert that for *any*
+arrival sequence and *any* migration schedule the hash path produces join
+outputs identical — same pairs, same order — to the nested-loop path, and
+that the internal index always agrees with the deque state it mirrors.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import SlicedJoinChain
+from repro.core.count_chain import CountSlicedJoinChain
+from repro.engine.errors import PlanError
+from repro.operators.sliced_join import SlicedBinaryJoin
+from repro.query.predicates import EquiJoinCondition, selectivity_join
+from repro.streams.tuples import make_tuple
+
+CONDITION = EquiJoinCondition("key", "key", key_domain=4)
+
+
+def build_tuples(spec):
+    """Materialize a (stream_is_a, key, gap) spec list into arrivals."""
+    tuples = []
+    timestamp = 0.0
+    for is_a, key, gap in spec:
+        timestamp += gap
+        tuples.append(make_tuple("A" if is_a else "B", timestamp, key=key))
+    return tuples
+
+
+arrival_specs = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=0.01, max_value=1.2),
+    ),
+    min_size=4,
+    max_size=60,
+)
+
+
+def chain_pair(kind, boundaries):
+    cls = SlicedJoinChain if kind == "time" else CountSlicedJoinChain
+    return (
+        cls(boundaries, CONDITION, probe="nested_loop"),
+        cls(boundaries, CONDITION, probe="hash"),
+    )
+
+
+def tagged(results):
+    return [(index, joined.left.seqno, joined.right.seqno) for index, joined in results]
+
+
+def index_agrees_with_state(join):
+    """The hash index holds exactly the deque state, bucketed by key."""
+    if join._indexes is None:
+        return True
+    for stream, state in join._states.items():
+        indexed = [
+            tup.seqno
+            for bucket in join._indexes[stream].values()
+            for tup in bucket
+        ]
+        if sorted(indexed) != sorted(tup.seqno for tup in state):
+            return False
+        attribute = join._key_attrs[stream]
+        for key, bucket in join._indexes[stream].items():
+            if not bucket:
+                return False  # empty buckets must be deleted eagerly
+            if any(tup[attribute] != key for tup in bucket):
+                return False
+    return True
+
+
+class TestInsertExpire:
+    """Equivalence under plain execution (insert + cross-purge/evict)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrival_specs)
+    def test_time_chain_outputs_identical(self, spec):
+        tuples = build_tuples(spec)
+        nested, hashed = chain_pair("time", [0.0, 1.5, 4.0])
+        assert tagged(nested.process_all(tuples)) == tagged(hashed.process_all(tuples))
+        for join in hashed.joins:
+            assert index_agrees_with_state(join)
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrival_specs)
+    def test_count_chain_outputs_identical(self, spec):
+        tuples = build_tuples(spec)
+        nested, hashed = chain_pair("count", [0, 3, 9])
+        assert tagged(nested.process_all(tuples)) == tagged(hashed.process_all(tuples))
+        for join in hashed.joins:
+            assert index_agrees_with_state(join)
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrival_specs)
+    def test_batched_equals_per_tuple(self, spec):
+        tuples = build_tuples(spec)
+        for kind, boundaries in (("time", [0.0, 2.0, 4.0]), ("count", [0, 4, 8])):
+            _, per_tuple = chain_pair(kind, boundaries)
+            _, batched = chain_pair(kind, boundaries)
+            want = sorted(tagged(per_tuple.process_all(tuples)))
+            got = sorted(tagged(batched.process_batch(tuples)))
+            assert want == got
+
+
+migration_schedules = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=59), st.sampled_from("smad")),
+    min_size=1,
+    max_size=6,
+)
+
+
+def apply_migration(chain, op, kind):
+    """Apply one migration op if currently legal; returns True when applied."""
+    boundaries = chain.boundaries
+    if op == "s":  # split the widest slice at its midpoint
+        widths = [
+            (end - start, index)
+            for index, (start, end) in enumerate(zip(boundaries, boundaries[1:]))
+        ]
+        width, index = max(widths)
+        middle = boundaries[index] + width / 2
+        if kind == "count":
+            middle = int(middle)
+            if not boundaries[index] < middle < boundaries[index + 1]:
+                return False
+        chain.split_slice(index, middle)
+        return True
+    if op == "m":  # merge the first two slices
+        if chain.slice_count() < 2:
+            return False
+        chain.merge_slices(0)
+        return True
+    if op == "a":  # append a tail slice
+        end = boundaries[-1] * 2 if kind == "time" else int(boundaries[-1]) + 3
+        chain.append_slice(end)
+        return True
+    if chain.slice_count() < 2:  # "d": drop the tail slice
+        return False
+    chain.drop_tail_slice()
+    return True
+
+
+class TestMigrations:
+    """Equivalence across split/merge/append/drop migrations.
+
+    The same arrival sequence and the same migration schedule are applied
+    to a nested-loop chain and a hash chain; outputs must stay identical,
+    which pins down the index rebuilds performed by load_state.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrival_specs, migration_schedules)
+    def test_time_chain_migrations(self, spec, schedule):
+        self._run("time", [0.0, 2.0], spec, schedule)
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrival_specs, migration_schedules)
+    def test_count_chain_migrations(self, spec, schedule):
+        self._run("count", [0, 4], spec, schedule)
+
+    def _run(self, kind, boundaries, spec, schedule):
+        tuples = build_tuples(spec)
+        nested, hashed = chain_pair(kind, boundaries)
+        plan = {}
+        for at, op in schedule:
+            plan.setdefault(at % len(tuples), []).append(op)
+        nested_out = []
+        hashed_out = []
+        for index, tup in enumerate(tuples):
+            for op in plan.get(index, ()):
+                if apply_migration(nested, op, kind):
+                    applied = apply_migration(hashed, op, kind)
+                    assert applied, "migration legality must not depend on probe"
+            nested_out.extend(nested.process(tup))
+            hashed_out.extend(hashed.process(tup))
+        assert tagged(nested_out) == tagged(hashed_out)
+        assert nested.boundaries == hashed.boundaries
+        assert hashed.states_are_disjoint()
+        for join in hashed.joins:
+            assert index_agrees_with_state(join)
+
+
+class TestValidation:
+    def test_hash_requires_equi_join(self):
+        with pytest.raises(PlanError):
+            SlicedBinaryJoin(0.0, 2.0, selectivity_join(0.5), probe="hash")
+
+    def test_auto_resolves_by_condition(self):
+        equi = SlicedBinaryJoin(0.0, 2.0, CONDITION, probe="auto")
+        theta = SlicedBinaryJoin(0.0, 2.0, selectivity_join(0.5), probe="auto")
+        assert equi.probe == "hash"
+        assert theta.probe == "nested_loop"
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(PlanError):
+            SlicedBinaryJoin(0.0, 2.0, CONDITION, probe="btree")
