@@ -1,0 +1,237 @@
+"""Adaptive rebalance acceptance gate (statistics-plane PR).
+
+A drifting workload: for the first third of the stream the left stream's
+``value`` attribute is shifted into [0.8, 1), so Q2's declared selection
+``value > 0.8`` passes *everything* (measured Sσ = 1.0) and the CPU-Opt
+chain under the measured statistics is the fully merged slice [0, W2).  At
+the drift point the value distribution becomes uniform on [0, 1) — the
+selection suddenly bites (Sσ = 0.2) and the optimal chain splits at W1 so
+the pushed-down filter can shed 80% of the left stream before the long
+slice.
+
+Three identical sessions process the same arrivals:
+
+* **static** — optimized once for the pre-drift statistics, never touched
+  again (the merged chain keeps paying full-rate probes after the drift);
+* **oracle** — manually re-optimized with the ground-truth post-drift
+  statistics exactly at the drift point;
+* **adaptive** — an :class:`AdaptivePolicy` estimates its own statistics
+  from windowed counter deltas and migrates when it detects the drift.
+
+The gate (ISSUE 3 acceptance): over the post-drift measurement window the
+adaptive session's service rate (delivered results per simulated CPU cost,
+``Csys`` included) must be at least 1.2× the static session's and within
+10% of the oracle's, with all three sessions delivering identical answers.
+The measured trajectory is recorded in ``results/BENCH_adaptive.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.merge_graph import ChainCostParameters
+from repro.core.statistics import StreamStatistics
+from repro.engine.metrics import MetricsCollector, MetricsSnapshot
+from repro.query.predicates import selectivity_filter, selectivity_join
+from repro.runtime import AdaptivePolicy, StreamEngine
+from repro.streams.generators import SelectivityValueGenerator, generate_join_workload
+from repro.streams.tuples import StreamTuple
+
+RATE = 40.0
+DRIFT_AT = 12.0          # stream-seconds of pre-drift load
+END_AT = 36.0            # total stream length
+MEASURE_FROM = 24.0      # post-drift window: [24, 36) stream-seconds
+W1, W2 = 0.2, 1.0
+S1 = 0.05
+SIGMA = 0.2              # declared (and post-drift measured) Sσ of Q2
+CSYS = 0.5
+
+SPEEDUP_GATE = 1.2       # adaptive vs never-rebalanced
+ORACLE_TOLERANCE = 0.10  # adaptive within 10% of the re-optimized oracle
+
+#: Ground-truth statistics of the two phases (what the oracle is told).
+PHASE1_STATS = StreamStatistics(
+    arrival_rates={"A": RATE, "B": RATE},
+    join_selectivity=S1,
+    selection_selectivities={"Q2": (1.0, None)},
+)
+PHASE2_STATS = StreamStatistics(
+    arrival_rates={"A": RATE, "B": RATE},
+    join_selectivity=S1,
+    selection_selectivities={"Q2": (SIGMA, None)},
+)
+PARAMS = ChainCostParameters(
+    arrival_rate_left=RATE, arrival_rate_right=RATE, system_overhead=CSYS
+)
+
+
+@dataclass
+class ShiftedValues(SelectivityValueGenerator):
+    """Values uniform on [low, 1): the σ predicate ``value > 0.8`` passes all."""
+
+    low: float = 0.8
+
+    def generate(self, rng):
+        payload = super().generate(rng)
+        payload["value"] = self.low + payload["value"] * (1.0 - self.low)
+        return payload
+
+
+def _shift(tuples, offset: float) -> list[StreamTuple]:
+    return [
+        StreamTuple(stream=t.stream, timestamp=t.timestamp + offset, values=t.values)
+        for t in tuples
+    ]
+
+
+def _drifting_stream() -> list[StreamTuple]:
+    phase1 = generate_join_workload(
+        rate_a=RATE,
+        rate_b=RATE,
+        duration=DRIFT_AT,
+        seed=11,
+        value_generator=lambda: ShiftedValues(low=1.0 - SIGMA),
+    ).tuples
+    phase2 = generate_join_workload(
+        rate_a=RATE, rate_b=RATE, duration=END_AT - DRIFT_AT, seed=12
+    ).tuples
+    return phase1 + _shift(phase2, DRIFT_AT)
+
+
+STREAM = _drifting_stream()
+CONDITION = selectivity_join(S1)
+
+
+def _build_session(policy: AdaptivePolicy | None = None) -> StreamEngine:
+    engine = StreamEngine(
+        CONDITION,
+        batch_size=32,
+        metrics=MetricsCollector(system_overhead=CSYS),
+        policy=policy,
+    )
+    engine.add_query("Q1", W1)
+    engine.add_query("Q2", W2, left_filter=selectivity_filter(SIGMA))
+    return engine
+
+
+def _run(engine: StreamEngine, oracle_at: float | None = None) -> MetricsSnapshot:
+    """Process the drifting stream; return the post-drift counter deltas."""
+    measure_start: MetricsSnapshot | None = None
+    oracle_done = oracle_at is None
+    for tup in STREAM:
+        if not oracle_done and tup.timestamp >= oracle_at:
+            engine.flush()
+            engine.rebalance(PARAMS, statistics=PHASE2_STATS)
+            oracle_done = True
+        if measure_start is None and tup.timestamp >= MEASURE_FROM:
+            engine.flush()
+            measure_start = engine.metrics.snapshot()
+        engine.process(tup)
+    engine.flush()
+    assert measure_start is not None
+    return engine.metrics.snapshot().diff(measure_start)
+
+
+def test_adaptive_rebalance_gate(results_dir):
+    # Never-rebalanced: optimized once for the measured pre-drift statistics
+    # (fully merged chain), then left alone.
+    static = _build_session()
+    static.rebalance(PARAMS, statistics=PHASE1_STATS)
+    assert static.boundaries == (0.0, W2), "pre-drift optimum should merge"
+    static_delta = _run(static)
+
+    # Oracle: same start, manually re-optimized with ground truth at drift.
+    oracle = _build_session()
+    oracle.rebalance(PARAMS, statistics=PHASE1_STATS)
+    oracle_delta = _run(oracle, oracle_at=DRIFT_AT)
+    assert oracle.boundaries == (0.0, W1, W2), "post-drift optimum should split"
+
+    # Adaptive: estimates its own statistics, calibrates itself at start-up
+    # and migrates when the measured selection selectivity drifts.
+    policy = AdaptivePolicy(
+        window=1.5,
+        drift_threshold=0.35,
+        cooldown=5.0,
+        hysteresis=2,
+        min_arrivals=48,
+        system_overhead=CSYS,
+        calibrate_first=True,
+    )
+    adaptive = _build_session(policy=policy)
+    adaptive_delta = _run(adaptive)
+    assert adaptive.boundaries == (0.0, W1, W2), "policy should split post-drift"
+    assert policy.rebalances >= 1
+
+    # All three sessions deliver identical answers.
+    assert (
+        static_delta["emitted.total"]
+        == oracle_delta["emitted.total"]
+        == adaptive_delta["emitted.total"]
+    )
+    for name in ("Q1", "Q2"):
+        reference = [(j.left.seqno, j.right.seqno) for j in static.results(name)]
+        for session in (oracle, adaptive):
+            assert [
+                (j.left.seqno, j.right.seqno) for j in session.results(name)
+            ] == reference, name
+
+    speedup = adaptive_delta["service_rate"] / static_delta["service_rate"]
+    vs_oracle = adaptive_delta["service_rate"] / oracle_delta["service_rate"]
+    payload = {
+        "benchmark": "adaptive_rebalance",
+        "workload": {
+            "rate_per_stream": RATE,
+            "windows": [W1, W2],
+            "join_selectivity": S1,
+            "declared_sigma": SIGMA,
+            "drift": "Sσ(Q2) 1.0 -> 0.2 at t=12s (value distribution shift)",
+            "stream_seconds": END_AT,
+            "measurement_window": [MEASURE_FROM, END_AT],
+            "csys": CSYS,
+        },
+        "sessions": {
+            name: {
+                "post_drift_service_rate": round(delta["service_rate"], 6),
+                "post_drift_cpu_cost": round(delta["cpu_cost"], 1),
+                "post_drift_results": int(delta["emitted.total"]),
+                "final_boundaries": list(engine.boundaries),
+            }
+            for name, engine, delta in (
+                ("static", static, static_delta),
+                ("oracle", oracle, oracle_delta),
+                ("adaptive", adaptive, adaptive_delta),
+            )
+        },
+        "policy": {
+            "rebalances": policy.rebalances,
+            "events": [
+                {
+                    "kind": event.kind,
+                    "t": round(event.timestamp, 2),
+                    "drift": round(event.drift, 3),
+                    "boundaries": list(event.boundaries),
+                }
+                for event in policy.events
+                if event.kind in ("calibrate", "rebalance")
+            ],
+        },
+        "speedup_adaptive_vs_static": round(speedup, 3),
+        "adaptive_vs_oracle": round(vs_oracle, 3),
+        "gates": {
+            "speedup_vs_static": SPEEDUP_GATE,
+            "oracle_tolerance": ORACLE_TOLERANCE,
+        },
+    }
+    path = Path(results_dir) / "BENCH_adaptive.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= SPEEDUP_GATE, (
+        f"post-drift adaptive throughput only {speedup:.2f}x the "
+        f"never-rebalanced session (gate {SPEEDUP_GATE}x); see {path}"
+    )
+    assert vs_oracle >= 1.0 - ORACLE_TOLERANCE, (
+        f"adaptive session reached only {vs_oracle:.2%} of the manually "
+        f"re-optimized oracle (tolerance {ORACLE_TOLERANCE:.0%}); see {path}"
+    )

@@ -41,6 +41,7 @@ from repro.core import (
     ChainSpec,
     SlicedJoinChain,
     SliceSpec,
+    StreamStatistics,
     TwoQuerySettings,
     build_cpu_opt_chain,
     build_mem_opt_chain,
@@ -68,7 +69,12 @@ from repro.query import (
     selectivity_join,
     three_query_workload,
 )
-from repro.runtime import CountStreamEngine, RegisteredQuery, StreamEngine
+from repro.runtime import (
+    AdaptivePolicy,
+    CountStreamEngine,
+    RegisteredQuery,
+    StreamEngine,
+)
 from repro.streams import StreamTuple, generate_join_workload, make_tuple
 
 __version__ = "1.0.0"
@@ -78,10 +84,12 @@ __all__ = [
     "build_pullup_plan",
     "build_pushdown_plan",
     "build_unshared_plan",
+    "AdaptivePolicy",
     "ChainCostParameters",
     "ChainSpec",
     "SliceSpec",
     "SlicedJoinChain",
+    "StreamStatistics",
     "TwoQuerySettings",
     "build_cpu_opt_chain",
     "build_mem_opt_chain",

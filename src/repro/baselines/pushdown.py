@@ -70,8 +70,27 @@ def build_pushdown_plan(
     workload: QueryWorkload,
     algorithm: str = "nested_loop",
     plan_name: str = "selection-pushdown",
+    window_kind: str = "time",
 ) -> QueryPlan:
-    """Build the stream-partition (selection push-down) shared plan."""
+    """Build the stream-partition (selection push-down) shared plan.
+
+    With ``window_kind="count"`` the strategy degenerates to the shared
+    count join of the pull-up plan: partitioning a stream by a predicate
+    redefines which tuples occupy the most recent N ranks, so stream
+    partition cannot preserve count-window semantics (count windows range
+    over raw arrivals; selections filter answers only — the convention
+    shared with :class:`~repro.runtime.engine.CountStreamEngine`).
+    """
+    if window_kind == "count":
+        from repro.baselines.pullup import build_pullup_plan
+
+        return build_pullup_plan(
+            workload, algorithm=algorithm, plan_name=plan_name, window_kind="count"
+        )
+    if window_kind != "time":
+        raise ConfigurationError(
+            f"window_kind must be 'time' or 'count', got {window_kind!r}"
+        )
     unfiltered, filtered = _classify_queries(workload)
     plan = QueryPlan(plan_name)
 

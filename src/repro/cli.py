@@ -8,13 +8,17 @@ Exposes the most common tasks without writing Python:
     python -m repro figure   17 --panels b e --rates 20 40
     python -m repro figure   11
     python -m repro table    2
+    python -m repro optimize --queries 12 --windows small-large --probe hash
     python -m repro chains   --queries 12 --windows small-large --rate 60
     python -m repro cost     --rho 0.25 --ssigma 0.2 --s1 0.1
+    python -m repro runtime  --adaptive --stats
 
 ``compare`` runs every sharing strategy on one configuration; ``figure`` and
-``table`` regenerate the paper's figures/tables; ``chains`` shows the
-Mem-Opt and CPU-Opt chains for a workload; ``cost`` evaluates the analytical
-two-query cost model.
+``table`` regenerate the paper's figures/tables; ``optimize`` runs the chain
+optimizers — hash-probe-aware when asked — and prices the candidates under
+the analytical cost model (``chains`` is its older, cost-silent sibling);
+``cost`` evaluates the analytical two-query cost model; ``runtime`` demos a
+live session, optionally with the adaptive rebalance policy attached.
 """
 
 from __future__ import annotations
@@ -75,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="executor arrival batch size (1 = per-tuple execution)",
     )
+    compare.add_argument(
+        "--probe",
+        choices=("nested_loop", "hash", "auto"),
+        default="nested_loop",
+        help="join probe algorithm; hash/auto build an equi-join workload "
+        "whose key domain approximates --s1 and optimize with the "
+        "hash-probe cost model",
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate a figure (11, 17, 18, 19)")
     figure.add_argument("number", type=int, choices=(11, 17, 18, 19))
@@ -95,6 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
     chains.add_argument("--ssigma", type=float, default=1.0)
     chains.add_argument("--csys", type=float, default=0.25, help="per-operator overhead")
     chains.add_argument("--time-scale", type=float, default=1.0)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="run the Mem-Opt and CPU-Opt chain searches and price the "
+        "candidates under the analytical cost model",
+    )
+    optimize.add_argument("--queries", type=int, default=12)
+    optimize.add_argument("--windows", default="small-large")
+    optimize.add_argument("--rate", type=float, default=40.0)
+    optimize.add_argument("--s1", type=float, default=0.025)
+    optimize.add_argument("--ssigma", type=float, default=1.0)
+    optimize.add_argument("--csys", type=float, default=0.25, help="per-operator overhead")
+    optimize.add_argument("--time-scale", type=float, default=1.0)
+    optimize.add_argument(
+        "--probe",
+        choices=("nested_loop", "hash", "auto"),
+        default="nested_loop",
+        help="probe algorithm the session will execute with; hash/auto "
+        "switch the workload to an equi-join and the optimizer to the "
+        "hash-probe cost model (probe term scaled by S1)",
+    )
 
     cost = subparsers.add_parser("cost", help="evaluate the two-query analytical cost model")
     cost.add_argument("--rate", type=float, default=50.0)
@@ -142,6 +175,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="selection selectivity Sσ: every second admitted query carries "
         "a left-stream predicate with this selectivity (1.0 = no selections)",
     )
+    runtime.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the session's EngineStats, migration history and "
+        "metrics snapshot after the run",
+    )
+    runtime.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="attach an AdaptivePolicy: the session estimates its own "
+        "arrival rates/selectivities and re-optimizes the chain on drift",
+    )
+    runtime.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.25,
+        help="relative statistics change that counts as drift (adaptive)",
+    )
+    runtime.add_argument(
+        "--policy-window",
+        type=float,
+        default=2.0,
+        help="estimation window in stream-seconds (adaptive)",
+    )
+    runtime.add_argument(
+        "--cooldown",
+        type=float,
+        default=6.0,
+        help="minimum stream-seconds between rebalances (adaptive)",
+    )
     return parser
 
 
@@ -158,6 +221,7 @@ def _cmd_compare(args: argparse.Namespace) -> str:
         time_scale=args.time_scale,
         seed=args.seed,
         batch_size=args.batch_size,
+        probe=args.probe,
     )
     strategies = (
         "unshared",
@@ -262,6 +326,47 @@ def _cmd_chains(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_optimize(args: argparse.Namespace) -> str:
+    from repro.core.merge_graph import chain_cpu_cost, chain_memory_cost
+    from repro.experiments.harness import chain_parameters
+
+    config = ExperimentConfig(
+        rate=args.rate,
+        window_distribution=args.windows,
+        query_count=args.queries,
+        join_selectivity=args.s1,
+        filter_selectivity=args.ssigma,
+        time_scale=args.time_scale,
+        system_overhead=args.csys,
+        probe=args.probe,
+    )
+    workload = make_workload(config)
+    params = chain_parameters(workload, config)
+    mem_opt = build_mem_opt_chain(workload)
+    cpu_opt = build_cpu_opt_chain(workload, params)
+    rows = [
+        [
+            name,
+            str(len(chain)),
+            f"{chain_cpu_cost(chain, params):.0f}",
+            f"{chain_memory_cost(chain, params):.1f}",
+        ]
+        for name, chain in (("Mem-Opt", mem_opt), ("CPU-Opt", cpu_opt))
+    ]
+    probe_note = (
+        f"hash (probe term scaled by S1={params.effective_join_selectivity(workload):g})"
+        if params.hash_probe
+        else "nested loops (the paper's model)"
+    )
+    return (
+        f"workload: {config.label()}\n"
+        f"cost model: Csys={args.csys:g}, probe model: {probe_note}\n\n"
+        + format_table(["chain", "slices", "CPU (cmp/s)", "state (KB)"], rows)
+        + f"\n\nMem-Opt chain:\n{mem_opt.describe()}"
+        + f"\n\nCPU-Opt chain:\n{cpu_opt.describe()}"
+    )
+
+
 def _cmd_cost(args: argparse.Namespace) -> str:
     settings = TwoQuerySettings(
         arrival_rate=args.rate,
@@ -291,33 +396,49 @@ def _cmd_cost(args: argparse.Namespace) -> str:
 
 
 def _cmd_runtime(args: argparse.Namespace) -> str:
-    from repro.engine.errors import QueryError
     from repro.query.predicates import (
         EquiJoinCondition,
         selectivity_filter,
         selectivity_join,
     )
-    from repro.runtime import StreamEngine
-    from repro.streams.generators import generate_join_workload
-
-    data = generate_join_workload(
-        rate_a=args.rate, rate_b=args.rate, duration=args.duration, seed=args.seed
+    from repro.runtime import AdaptivePolicy, StreamEngine
+    from repro.streams.generators import (
+        equi_key_domain,
+        equi_value_generator,
+        generate_join_workload,
     )
+
+    value_generator = None
     if args.probe in ("hash", "auto"):
-        if not 0.0 < args.s1 <= 1.0:
-            raise QueryError(f"join selectivity must lie in (0, 1], got {args.s1}")
         # Hash probing needs an equi-key; approximate the requested S1 with
-        # the key-domain size (uniform keys match with probability 1/domain).
-        condition = EquiJoinCondition(
-            "join_key", "join_key", key_domain=max(1, round(1.0 / args.s1))
-        )
+        # the key-domain size (uniform keys match with probability 1/domain)
+        # and draw the synthetic keys from that same domain.
+        domain = equi_key_domain(args.s1)
+        condition = EquiJoinCondition("join_key", "join_key", key_domain=domain)
+        value_generator = equi_value_generator(domain)
     else:
         condition = selectivity_join(args.s1)
+    data = generate_join_workload(
+        rate_a=args.rate,
+        rate_b=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        value_generator=value_generator,
+    )
+    policy = None
+    if args.adaptive:
+        policy = AdaptivePolicy(
+            window=args.policy_window,
+            drift_threshold=args.drift_threshold,
+            cooldown=args.cooldown,
+        )
     engine = StreamEngine(
         condition,
         batch_size=args.batch_size,
         window_kind=args.window_kind,
         probe=args.probe,
+        policy=policy,
+        collect_statistics=args.stats,
     )
     unit = "s" if args.window_kind == "time" else " rows"
     tuples = data.tuples
@@ -362,6 +483,49 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
         f"state {engine.state_size()} tuples in {engine.slice_count()} slices; "
         f"migrations: {[event.kind for event in engine.stats.migrations]}"
     )
+    if policy is not None:
+        lines.append("")
+        lines.append(policy.describe())
+        for event in policy.events:
+            if event.kind in ("rebalance", "calibrate", "recalibrate"):
+                lines.append(
+                    f"  t={event.timestamp:7.2f}s  {event.kind} "
+                    f"(drift {event.drift:.0%}) "
+                    f"boundaries={list(event.boundaries)}"
+                )
+    if args.stats:
+        lines.append("")
+        lines.append("engine stats:")
+        stats = engine.stats
+        lines.append(
+            f"  arrivals {stats.arrivals}, batches {stats.batches}, "
+            f"results delivered {stats.results_delivered}"
+        )
+        lines.append("  migration history:")
+        for event in stats.migrations:
+            lines.append(
+                f"    arrival {event.arrival_count:>6}: {event.kind:<9} "
+                f"@ {event.boundary:g} -> "
+                f"boundaries {[round(b, 6) for b in event.boundaries_after]}"
+            )
+        snapshot = engine.metrics.snapshot()
+        lines.append("  metrics snapshot:")
+        for key in (
+            "comparisons.probe",
+            "comparisons.purge",
+            "comparisons.select",
+            "comparisons.route",
+            "comparisons.total",
+            "invocations.total",
+            "emitted.total",
+            "ingested.total",
+            "cpu_cost",
+            "service_rate",
+            "memory.average",
+            "memory.max",
+        ):
+            lines.append(f"    {key:<20} {snapshot.get(key, 0.0):g}")
+        lines.append(f"  {engine.estimated_statistics().describe()}")
     return "\n".join(lines)
 
 
@@ -370,6 +534,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "table": _cmd_table,
     "chains": _cmd_chains,
+    "optimize": _cmd_optimize,
     "cost": _cmd_cost,
     "runtime": _cmd_runtime,
 }

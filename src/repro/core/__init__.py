@@ -38,10 +38,13 @@ from repro.core.pushdown import (
     residual_filters,
 )
 from repro.core.slices import ChainSpec, SliceSpec
+from repro.core.statistics import CalibratedPredicate, StreamStatistics
 
 __all__ = [
     "SlicedJoinChain",
     "CountSlicedJoinChain",
+    "CalibratedPredicate",
+    "StreamStatistics",
     "TwoQuerySettings",
     "CostEstimate",
     "Savings",

@@ -12,12 +12,16 @@ entry point for:
   slice into two and merging two adjacent slices while the stream is
   running.
 
-The chain also carries the *pushed-down selections* of Section 6: each link
-(the queue in front of a slice, including the chain entry) can hold one
-:class:`~repro.operators.selection.StreamFilter` per stream, installed via
-:meth:`SlicedJoinChain.set_link_filters`.  A tuple failing the filter of a
-link never enters the slices behind it, which is what keeps the shared
-chain memory-minimal when queries carry selection predicates (Theorem 4).
+The execution loop and the migration primitives shared with the count-based
+chain live in :class:`~repro.core.chain_base.SlicedChainBase`; this class
+adds the time-slice specifics: lazy splits (a shrunk slice re-purges its
+too-old tuples on the next probe) and the *pushed-down selections* of
+Section 6.  Each link (the queue in front of a slice, including the chain
+entry) can hold one :class:`~repro.operators.selection.StreamFilter` per
+stream, installed via :meth:`SlicedJoinChain.set_link_filters`.  A tuple
+failing the filter of a link never enters the slices behind it, which is
+what keeps the shared chain memory-minimal when queries carry selection
+predicates (Theorem 4).
 
 For shared multi-query execution with selections, routers and unions over a
 *static* workload, use :func:`repro.core.plan_builder.build_state_slice_plan`,
@@ -28,23 +32,19 @@ the filter placement must be re-derived after every online migration.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Sequence
 
+from repro.core.chain_base import SliceResult, SlicedChainBase
 from repro.engine.errors import ChainError, MigrationError
-from repro.engine.metrics import MetricsCollector
 from repro.operators.selection import StreamFilter
 from repro.operators.sliced_join import SlicedBinaryJoin
-from repro.query.predicates import JoinCondition, Predicate, TruePredicate
-from repro.streams.tuples import JoinedTuple, StreamTuple
+from repro.query.predicates import Predicate, TruePredicate
+from repro.streams.tuples import JoinedTuple
 
 __all__ = ["SlicedJoinChain", "SliceResult"]
 
-#: One result produced by the chain: the slice index and the joined tuple.
-SliceResult = tuple[int, JoinedTuple]
 
-
-class SlicedJoinChain:
+class SlicedJoinChain(SlicedChainBase):
     """A pipelined chain of sliced binary window joins (Definition 2).
 
     Parameters
@@ -64,15 +64,19 @@ class SlicedJoinChain:
         (equi-joins only) or ``"auto"``.
     """
 
-    def __init__(
-        self,
-        boundaries: Sequence[float],
-        condition: JoinCondition,
-        left_stream: str = "A",
-        right_stream: str = "B",
-        metrics: MetricsCollector | None = None,
-        probe: str = "nested_loop",
-    ) -> None:
+    joins: list[SlicedBinaryJoin]
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Pushed-down selections per link: ``_filters[i]`` is the
+        #: ``(left StreamFilter | None, right StreamFilter | None)`` pair in
+        #: front of slice ``i`` (``i = 0`` filters the raw arrivals).
+        self._filters: list[tuple[StreamFilter | None, StreamFilter | None]] = [
+            (None, None) for _ in self.joins
+        ]
+
+    # -- chain-base hooks -----------------------------------------------------
+    def _coerce_boundaries(self, boundaries: Sequence[float]) -> list[float]:
         bounds = [float(b) for b in boundaries]
         if len(bounds) < 2:
             raise ChainError("a chain needs at least two boundaries (one slice)")
@@ -80,20 +84,10 @@ class SlicedJoinChain:
             raise ChainError(f"the first boundary must be 0, got {bounds[0]}")
         if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ChainError(f"boundaries must be strictly increasing, got {bounds}")
-        self.condition = condition
-        self.left_stream = left_stream
-        self.right_stream = right_stream
-        self.metrics = metrics if metrics is not None else MetricsCollector()
-        self.probe = probe
-        self.joins: list[SlicedBinaryJoin] = []
-        for start, end in zip(bounds, bounds[1:]):
-            self.joins.append(self._make_join(start, end))
-        #: Pushed-down selections per link: ``_filters[i]`` is the
-        #: ``(left StreamFilter | None, right StreamFilter | None)`` pair in
-        #: front of slice ``i`` (``i = 0`` filters the raw arrivals).
-        self._filters: list[tuple[StreamFilter | None, StreamFilter | None]] = [
-            (None, None) for _ in self.joins
-        ]
+        return bounds
+
+    def _coerce_boundary(self, boundary: float) -> float:
+        return float(boundary)
 
     def _make_join(self, start: float, end: float) -> SlicedBinaryJoin:
         join = SlicedBinaryJoin(
@@ -107,6 +101,23 @@ class SlicedJoinChain:
         )
         join.bind_metrics(self.metrics)
         return join
+
+    def _join_bounds(self, join: SlicedBinaryJoin) -> tuple[float, float]:
+        return join.slice.start, join.slice.end
+
+    def _set_join_end(self, join: SlicedBinaryJoin, end: float) -> None:
+        join.slice = type(join.slice)(join.slice.start, end)
+
+    def _describe_join(self, join: SlicedBinaryJoin) -> str:
+        return join.slice.describe()
+
+    def _on_slice_inserted(self, index: int) -> None:
+        # The new link starts unfiltered; the owner of the chain recomputes
+        # the filter placement for the changed boundaries.
+        self._filters.insert(index, (None, None))
+
+    def _on_slice_removed(self, index: int) -> None:
+        del self._filters[index]
 
     # -- pushed-down selections (Section 6) ---------------------------------------------
     def set_link_filters(
@@ -164,71 +175,7 @@ class SlicedJoinChain:
             ]
         return items
 
-    # -- execution ------------------------------------------------------------------
-    def process(self, tup: StreamTuple) -> list[SliceResult]:
-        """Feed one arriving tuple through the whole chain.
-
-        Returns every joined result produced, tagged with the index of the
-        slice that produced it.  Tuples must be fed in global timestamp
-        order.
-        """
-        results: list[SliceResult] = []
-        port = "left" if tup.stream == self.left_stream else "right"
-        pending: deque[tuple[int, object]] = deque()
-        for entry in self._through_link(0, [tup]):
-            for out_port, item in self.joins[0].process(entry, port):
-                pending.append((0, (out_port, item)))
-        while pending:
-            index, (out_port, item) = pending.popleft()
-            if out_port == "output":
-                results.append((index, item))
-            elif out_port == "next":
-                next_index = index + 1
-                if next_index < len(self.joins):
-                    for passed in self._through_link(next_index, [item]):
-                        emissions = self.joins[next_index].process(passed, "chain")
-                        for nxt_port, nxt_item in emissions:
-                            pending.append((next_index, (nxt_port, nxt_item)))
-            # punctuations are dropped: the chain harness returns results
-            # directly instead of routing them through a union operator.
-        return results
-
-    def process_batch(self, tuples: Sequence[StreamTuple]) -> list[SliceResult]:
-        """Feed a FIFO batch of arrivals through the chain, slice by slice.
-
-        The head join's raw ports are interchangeable (each arrival is
-        captured as its male/female reference pair from the tuple's own
-        stream), so the whole mixed-stream batch is delivered to it in one
-        ``process_batch`` call; later joins consume the propagated
-        references on their ``chain`` port.  Results are returned in
-        slice-major order: all of slice 0's results for the batch, then
-        slice 1's, and so on — the result *set* is identical to per-tuple
-        processing, and within one slice results keep arrival order.
-        """
-        batch: list[object] = list(tuples)
-        results: list[SliceResult] = []
-        port = "left"
-        for index, join in enumerate(self.joins):
-            batch = self._through_link(index, batch)
-            if not batch:
-                break
-            next_batch: list[object] = []
-            for out_port, item in join.process_batch(batch, port):
-                if out_port == "output":
-                    results.append((index, item))
-                elif out_port == "next":
-                    next_batch.append(item)
-            batch = next_batch
-            port = "chain"
-        return results
-
-    def process_all(self, tuples: Sequence[StreamTuple]) -> list[SliceResult]:
-        """Feed a whole (timestamp-ordered) sequence of tuples."""
-        results: list[SliceResult] = []
-        for tup in tuples:
-            results.extend(self.process(tup))
-        return results
-
+    # -- time-window specifics ------------------------------------------------
     def results_for_window(
         self, results: Sequence[SliceResult], window: float
     ) -> list[JoinedTuple]:
@@ -250,37 +197,6 @@ class SlicedJoinChain:
                     answer.append(joined)
         return answer
 
-    # -- introspection ------------------------------------------------------------------
-    @property
-    def boundaries(self) -> list[float]:
-        return [self.joins[0].slice.start] + [join.slice.end for join in self.joins]
-
-    def slice_count(self) -> int:
-        return len(self.joins)
-
-    def state_size(self) -> int:
-        """Total number of tuples stored across all slices of the chain."""
-        return sum(join.state_size() for join in self.joins)
-
-    def state_sizes(self) -> list[int]:
-        return [join.state_size() for join in self.joins]
-
-    def state_tuples(self, stream: str) -> list[list[StreamTuple]]:
-        """Per-slice state contents of one stream (oldest slice last)."""
-        return [join.state_tuples(stream) for join in self.joins]
-
-    def states_are_disjoint(self) -> bool:
-        """Check the Lemma 1 property: per-stream slice states never overlap."""
-        for stream in (self.left_stream, self.right_stream):
-            seen: set[int] = set()
-            for join in self.joins:
-                for tup in join.state_tuples(stream):
-                    if tup.seqno in seen:
-                        return False
-                    seen.add(tup.seqno)
-        return True
-
-    # -- online migration (Section 5.3) ---------------------------------------------------
     def split_slice(self, index: int, boundary: float) -> None:
         """Split slice ``index`` at ``boundary`` into two adjacent slices.
 
@@ -301,76 +217,4 @@ class SlicedJoinChain:
         new_join = self._make_join(boundary, old_end)
         join.slice = type(join.slice)(join.slice.start, boundary)
         self.joins.insert(index + 1, new_join)
-        # The new link starts unfiltered; the owner of the chain recomputes
-        # the filter placement for the changed boundaries.
-        self._filters.insert(index + 1, (None, None))
-
-    def merge_slices(self, index: int) -> None:
-        """Merge slice ``index`` with slice ``index + 1``.
-
-        The states of the two slices are concatenated (the later slice holds
-        the older tuples, so its state goes first) and the surviving join's
-        end window is extended, mirroring the merge procedure of
-        Section 5.3.  The queue between the two slices is always empty in
-        this harness because every arrival is propagated fully.
-        """
-        if not 0 <= index < len(self.joins) - 1:
-            raise MigrationError(
-                f"cannot merge slice {index}: it has no successor in the chain"
-            )
-        keep = self.joins[index]
-        absorb = self.joins[index + 1]
-        for stream in (self.left_stream, self.right_stream):
-            older = absorb.state_tuples(stream)
-            newer = keep.state_tuples(stream)
-            keep.load_state(stream, older + newer)
-        keep.slice = type(keep.slice)(keep.slice.start, absorb.slice.end)
-        del self.joins[index + 1]
-        del self._filters[index + 1]
-
-    def append_slice(self, end: float) -> None:
-        """Extend the chain with a new empty tail slice ``[old_end, end)``.
-
-        Used when a query with a window larger than the current chain end
-        registers at runtime: tuples purged off the old tail (previously
-        discarded) now flow into the new slice, so the larger window fills
-        naturally from this point on — the new query sees exactly the
-        results a fresh chain over the remaining stream suffix would see.
-        """
-        old_end = self.joins[-1].slice.end
-        if end <= old_end + 1e-12:
-            raise MigrationError(
-                f"appended boundary {end:g} must exceed the chain end {old_end:g}"
-            )
-        self.joins.append(self._make_join(old_end, end))
-        self._filters.append((None, None))
-
-    def drop_tail_slice(self) -> None:
-        """Remove the last slice of the chain, discarding its state.
-
-        Used when the largest-window query deregisters: the tail slice holds
-        only tuples too old for every remaining window, so its state can be
-        dropped wholesale without touching the rest of the chain.
-        """
-        if len(self.joins) < 2:
-            raise MigrationError("cannot drop the only slice of a chain")
-        self.joins.pop()
-        self._filters.pop()
-
-    def slice_index_for_boundary(self, boundary: float) -> int | None:
-        """Index of the slice whose *end* equals ``boundary``, if any."""
-        for index, join in enumerate(self.joins):
-            if abs(join.slice.end - boundary) <= 1e-9:
-                return index
-        return None
-
-    def slice_index_containing(self, boundary: float) -> int | None:
-        """Index of the slice with ``start < boundary < end``, if any."""
-        for index, join in enumerate(self.joins):
-            if join.slice.start + 1e-9 < boundary < join.slice.end - 1e-9:
-                return index
-        return None
-
-    def describe(self) -> str:
-        parts = [join.slice.describe() for join in self.joins]
-        return " -> ".join(parts)
+        self._on_slice_inserted(index + 1)

@@ -33,6 +33,7 @@ __all__ = [
     "savings_grid",
     "cpu_savings_vs_pullup_grid",
     "cpu_savings_vs_pushdown_grid",
+    "two_query_settings_from_statistics",
 ]
 
 
@@ -53,6 +54,11 @@ class TwoQuerySettings:
         Sσ, selectivity of the selection σA of Q2.
     join_selectivity:
         S1, join selectivity (output / Cartesian product).
+    hash_probe:
+        When True every probe term is scaled by S1: a hash-indexed probe
+        examines only the matching equi-key bucket (an expected ``S1``
+        fraction of the opposite state) instead of the whole state.  The
+        paper's equations assume nested loops (the default).
     """
 
     arrival_rate: float
@@ -61,6 +67,7 @@ class TwoQuerySettings:
     tuple_size: float = 1.0
     filter_selectivity: float = 0.5
     join_selectivity: float = 0.1
+    hash_probe: bool = False
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
@@ -81,6 +88,11 @@ class TwoQuerySettings:
     def window_ratio(self) -> float:
         """ρ = W1 / W2 ∈ (0, 1)."""
         return self.window_small / self.window_large
+
+    @property
+    def probe_factor(self) -> float:
+        """Fraction of the opposite state a probing tuple examines."""
+        return self.join_selectivity if self.hash_probe else 1.0
 
 
 @dataclass(frozen=True)
@@ -107,7 +119,7 @@ def selection_pullup_cost(settings: TwoQuerySettings) -> CostEstimate:
 
     memory_terms = (2 * lam * w2 * mt,)
     cpu_terms = (
-        2 * lam * lam * w2,        # join probing
+        2 * lam * lam * w2 * settings.probe_factor,  # join probing
         2 * lam,                   # cross-purge
         2 * lam * lam * w2 * s1,   # routing (per joined result)
         2 * lam * lam * w2 * s1,   # selection above the join (per joined result)
@@ -139,10 +151,11 @@ def selection_pushdown_cost(settings: TwoQuerySettings) -> CostEstimate:
         (2 - s_sigma) * lam * w1 * mt,   # state of join 1 (A tuples failing σ + B)
         (1 + s_sigma) * lam * w2 * mt,   # state of join 2 (A tuples passing σ + B)
     )
+    probe_factor = settings.probe_factor
     cpu_terms = (
-        lam,                                   # splitting stream A
-        2 * (1 - s_sigma) * lam * lam * w1,    # probing in join 1
-        2 * s_sigma * lam * lam * w2,          # probing in join 2
+        lam,                                                  # splitting stream A
+        2 * (1 - s_sigma) * lam * lam * w1 * probe_factor,    # probing in join 1
+        2 * s_sigma * lam * lam * w2 * probe_factor,          # probing in join 2
         3 * lam,                               # cross-purge
         2 * s_sigma * lam * lam * w2 * s1,     # routing of join-2 results
         2 * lam * lam * w1 * s1,               # union of Q1 results
@@ -174,10 +187,11 @@ def state_slice_cost(settings: TwoQuerySettings) -> CostEstimate:
         2 * lam * w1 * mt,                       # slice [0, W1): both streams
         (1 + s_sigma) * lam * (w2 - w1) * mt,    # slice [W1, W2): σ(A) + B
     )
+    probe_factor = settings.probe_factor
     cpu_terms = (
-        2 * lam * lam * w1,                      # probing in slice 1
+        2 * lam * lam * w1 * probe_factor,                   # probing in slice 1
         lam,                                     # filter σA between the slices
-        2 * lam * lam * s_sigma * (w2 - w1),     # probing in slice 2
+        2 * lam * lam * s_sigma * (w2 - w1) * probe_factor,  # probing in slice 2
         4 * lam,                                 # cross-purge (two slices)
         2 * lam,                                 # union (punctuation-driven merge)
         2 * lam * lam * s1 * w1,                 # filter σ'A on slice-1 results for Q2
@@ -207,8 +221,20 @@ def state_slice_savings(settings: TwoQuerySettings) -> Savings:
     The paper expresses the savings in terms of ρ = W1/W2, Sσ and S1 (λ is
     omitted because its effect is negligible for two queries); the closed
     forms below are the paper's, and they agree with recomputing the ratios
-    from Equations 1-3 directly (a property test checks this).
+    from Equations 1-3 directly (a property test checks this).  The closed
+    forms assume nested-loop probing; with ``hash_probe`` the ratios are
+    recomputed numerically from the (probe-scaled) cost estimates instead.
     """
+    if settings.hash_probe:
+        pullup = selection_pullup_cost(settings)
+        pushdown = selection_pushdown_cost(settings)
+        sliced = state_slice_cost(settings)
+        return Savings(
+            memory_vs_pullup=(pullup.memory - sliced.memory) / pullup.memory,
+            memory_vs_pushdown=(pushdown.memory - sliced.memory) / pushdown.memory,
+            cpu_vs_pullup=(pullup.cpu - sliced.cpu) / pullup.cpu,
+            cpu_vs_pushdown=(pushdown.cpu - sliced.cpu) / pushdown.cpu,
+        )
     rho = settings.window_ratio
     s_sigma = settings.filter_selectivity
     s1 = settings.join_selectivity
@@ -298,3 +324,48 @@ def cpu_savings_vs_pushdown_grid(
         s1: savings_grid(rho_values, s_sigma_values, join_selectivity=s1)
         for s1 in join_selectivities
     }
+
+
+def two_query_settings_from_statistics(
+    statistics,
+    window_small: float,
+    window_large: float,
+    tuple_size: float = 1.0,
+    hash_probe: bool = False,
+) -> TwoQuerySettings:
+    """Instantiate the two-query model from a measured statistics plane.
+
+    ``statistics`` is a :class:`repro.core.statistics.StreamStatistics`
+    (duck-typed here to keep this module free of upward imports).  The model
+    assumes λA = λB, so the two measured rates are averaged; the filter
+    selectivity is the measured Sσ of the single filtered query when exactly
+    one query carries a (left) selection, else the model default.
+    """
+    rates = [
+        statistics.rate(stream, 0.0)
+        for stream in (statistics.left_stream, statistics.right_stream)
+    ]
+    rates = [rate for rate in rates if rate > 0]
+    if not rates:
+        raise ConfigurationError(
+            "two_query_settings_from_statistics needs at least one measured "
+            "arrival rate"
+        )
+    measured_sigma = [
+        pair[0]
+        for pair in statistics.selection_selectivities.values()
+        if pair[0] is not None
+    ]
+    kwargs: dict[str, float] = {}
+    if len(measured_sigma) == 1:
+        kwargs["filter_selectivity"] = measured_sigma[0]
+    if statistics.join_selectivity is not None:
+        kwargs["join_selectivity"] = statistics.join_selectivity
+    return TwoQuerySettings(
+        arrival_rate=sum(rates) / len(rates),
+        window_small=window_small,
+        window_large=window_large,
+        tuple_size=tuple_size,
+        hash_probe=hash_probe,
+        **kwargs,
+    )

@@ -6,33 +6,32 @@ are tuple *counts* instead of time offsets, each slice stores the tuples of
 one contiguous rank range per stream, and the union of the slice outputs
 equals the regular count-based join with the largest count window.
 
-The chain supports the same online migration primitives as the time-based
-chain (split / merge / append / drop-tail), with one structural difference:
-rank boundaries cannot re-partition lazily.  A time slice whose end window
-shrinks expels its now-too-old tuples on the next cross-purge, because age
-is measured against the probing tuple.  A count slice's membership is a
-*rank range*, and ranks only move on same-stream insertions — a shrunk
-slice would keep probing tuples whose rank it no longer covers.  The split
-migration therefore moves the out-of-range ranks into the new slice
-eagerly (and the hash index, when enabled, is rebuilt by ``load_state``),
-which keeps every probe exact at all times.
+The pipelined execution loop and the shared migration primitives (merge /
+append / drop-tail) come from
+:class:`~repro.core.chain_base.SlicedChainBase`; the one structural
+difference lives here: rank boundaries cannot re-partition lazily.  A time
+slice whose end window shrinks expels its now-too-old tuples on the next
+cross-purge, because age is measured against the probing tuple.  A count
+slice's membership is a *rank range*, and ranks only move on same-stream
+insertions — a shrunk slice would keep probing tuples whose rank it no
+longer covers.  The split migration therefore moves the out-of-range ranks
+into the new slice eagerly (and the hash index, when enabled, is rebuilt by
+``load_state``), which keeps every probe exact at all times.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Sequence
 
+from repro.core.chain_base import SlicedChainBase
 from repro.engine.errors import ChainError, MigrationError
-from repro.engine.metrics import MetricsCollector
 from repro.operators.count_join import CountSlicedBinaryJoin
-from repro.query.predicates import JoinCondition
-from repro.streams.tuples import JoinedTuple, StreamTuple
+from repro.streams.tuples import JoinedTuple
 
 __all__ = ["CountSlicedJoinChain"]
 
 
-class CountSlicedJoinChain:
+class CountSlicedJoinChain(SlicedChainBase):
     """A pipelined chain of count-based sliced binary joins.
 
     Parameters
@@ -45,15 +44,10 @@ class CountSlicedJoinChain:
         The join condition shared by every slice.
     """
 
-    def __init__(
-        self,
-        boundaries: Sequence[int],
-        condition: JoinCondition,
-        left_stream: str = "A",
-        right_stream: str = "B",
-        metrics: MetricsCollector | None = None,
-        probe: str = "nested_loop",
-    ) -> None:
+    joins: list[CountSlicedBinaryJoin]
+
+    # -- chain-base hooks -----------------------------------------------------
+    def _coerce_boundaries(self, boundaries: Sequence[float]) -> list[int]:
         bounds = [int(b) for b in boundaries]
         if len(bounds) < 2:
             raise ChainError("a chain needs at least two boundaries (one slice)")
@@ -61,14 +55,10 @@ class CountSlicedJoinChain:
             raise ChainError(f"the first boundary must be 0, got {bounds[0]}")
         if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ChainError(f"boundaries must be strictly increasing, got {bounds}")
-        self.condition = condition
-        self.left_stream = left_stream
-        self.right_stream = right_stream
-        self.metrics = metrics if metrics is not None else MetricsCollector()
-        self.probe = probe
-        self.joins: list[CountSlicedBinaryJoin] = []
-        for start, end in zip(bounds, bounds[1:]):
-            self.joins.append(self._make_join(start, end))
+        return bounds
+
+    def _coerce_boundary(self, boundary: float) -> int:
+        return int(boundary)
 
     def _make_join(self, start: int, end: int) -> CountSlicedBinaryJoin:
         join = CountSlicedBinaryJoin(
@@ -83,58 +73,13 @@ class CountSlicedJoinChain:
         join.bind_metrics(self.metrics)
         return join
 
-    # -- execution -----------------------------------------------------------------
-    def process(self, tup: StreamTuple) -> list[tuple[int, JoinedTuple]]:
-        """Feed one arriving tuple through the whole chain."""
-        results: list[tuple[int, JoinedTuple]] = []
-        port = "left" if tup.stream == self.left_stream else "right"
-        pending: deque[tuple[int, tuple[str, object]]] = deque()
-        for emission in self.joins[0].process(tup, port):
-            pending.append((0, emission))
-        while pending:
-            index, (out_port, item) = pending.popleft()
-            if out_port == "output":
-                results.append((index, item))
-            elif out_port == "next":
-                next_index = index + 1
-                if next_index < len(self.joins):
-                    for emission in self.joins[next_index].process(item, "chain"):
-                        pending.append((next_index, emission))
-        return results
+    def _join_bounds(self, join: CountSlicedBinaryJoin) -> tuple[int, int]:
+        return join.rank_start, join.rank_end
 
-    def process_batch(
-        self, tuples: Sequence[StreamTuple]
-    ) -> list[tuple[int, JoinedTuple]]:
-        """Feed a FIFO batch of arrivals through the chain, slice by slice.
+    def _set_join_end(self, join: CountSlicedBinaryJoin, end: int) -> None:
+        join.rank_end = end
 
-        Mirrors :meth:`repro.core.chain.SlicedJoinChain.process_batch`: the
-        head join's raw ports are interchangeable, so the whole mixed-stream
-        batch is delivered to it in one call; later joins consume the
-        propagated references on their ``chain`` port.  The result *set* is
-        identical to per-tuple processing.
-        """
-        batch: list[object] = list(tuples)
-        results: list[tuple[int, JoinedTuple]] = []
-        port = "left"
-        for index, join in enumerate(self.joins):
-            if not batch:
-                break
-            next_batch: list[object] = []
-            for out_port, item in join.process_batch(batch, port):
-                if out_port == "output":
-                    results.append((index, item))
-                elif out_port == "next":
-                    next_batch.append(item)
-            batch = next_batch
-            port = "chain"
-        return results
-
-    def process_all(self, tuples: Sequence[StreamTuple]) -> list[tuple[int, JoinedTuple]]:
-        results: list[tuple[int, JoinedTuple]] = []
-        for tup in tuples:
-            results.extend(self.process(tup))
-        return results
-
+    # -- count-window specifics -----------------------------------------------
     def results_for_count(
         self, results: Sequence[tuple[int, JoinedTuple]], count: int
     ) -> list[JoinedTuple]:
@@ -152,34 +97,6 @@ class CountSlicedJoinChain:
         last_slice = boundaries[1:].index(count)
         return [joined for index, joined in results if index <= last_slice]
 
-    # -- introspection -------------------------------------------------------------
-    @property
-    def boundaries(self) -> list[int]:
-        bounds = [self.joins[0].rank_start]
-        bounds.extend(join.rank_end for join in self.joins)
-        return bounds
-
-    def state_size(self) -> int:
-        return sum(join.state_size() for join in self.joins)
-
-    def states_are_disjoint(self) -> bool:
-        for stream in (self.left_stream, self.right_stream):
-            seen: set[int] = set()
-            for join in self.joins:
-                for tup in join.state_tuples(stream):
-                    if tup.seqno in seen:
-                        return False
-                    seen.add(tup.seqno)
-        return True
-
-    def state_tuples(self, stream: str) -> list[list[StreamTuple]]:
-        """Per-slice state contents of one stream (oldest slice last)."""
-        return [join.state_tuples(stream) for join in self.joins]
-
-    def slice_count(self) -> int:
-        return len(self.joins)
-
-    # -- online migration (count-based analogue of Section 5.3) ---------------------
     def split_slice(self, index: int, boundary: int) -> None:
         """Split slice ``index`` at rank ``boundary`` into two adjacent slices.
 
@@ -209,62 +126,4 @@ class CountSlicedJoinChain:
                 join.load_state(stream, state[overflow:])
         join.rank_end = boundary
         self.joins.insert(index + 1, new_join)
-
-    def merge_slices(self, index: int) -> None:
-        """Merge slice ``index`` with slice ``index + 1``.
-
-        The states concatenate (the later slice holds the older ranks, so
-        its tuples go first) and the surviving join's rank range extends.
-        """
-        if not 0 <= index < len(self.joins) - 1:
-            raise MigrationError(
-                f"cannot merge slice {index}: it has no successor in the chain"
-            )
-        keep = self.joins[index]
-        absorb = self.joins[index + 1]
-        for stream in (self.left_stream, self.right_stream):
-            keep.load_state(
-                stream, absorb.state_tuples(stream) + keep.state_tuples(stream)
-            )
-        keep.rank_end = absorb.rank_end
-        del self.joins[index + 1]
-
-    def append_slice(self, end: int) -> None:
-        """Extend the chain with a new empty tail slice ``[old_end, end)``.
-
-        Tuples evicted off the old tail (previously discarded) now flow into
-        the new slice, so a larger count window registered at runtime fills
-        naturally from this point on.
-        """
-        old_end = self.joins[-1].rank_end
-        end = int(end)
-        if end <= old_end:
-            raise MigrationError(
-                f"appended boundary {end} must exceed the chain end {old_end}"
-            )
-        self.joins.append(self._make_join(old_end, end))
-
-    def drop_tail_slice(self) -> None:
-        """Remove the last slice of the chain, discarding its state."""
-        if len(self.joins) < 2:
-            raise MigrationError("cannot drop the only slice of a chain")
-        self.joins.pop()
-
-    def slice_index_for_boundary(self, boundary: int) -> int | None:
-        """Index of the slice whose *end* equals ``boundary``, if any."""
-        for index, join in enumerate(self.joins):
-            if join.rank_end == int(boundary):
-                return index
-        return None
-
-    def slice_index_containing(self, boundary: int) -> int | None:
-        """Index of the slice with ``rank_start < boundary < rank_end``, if any."""
-        for index, join in enumerate(self.joins):
-            if join.rank_start < int(boundary) < join.rank_end:
-                return index
-        return None
-
-    def describe(self) -> str:
-        return " -> ".join(
-            f"[{join.rank_start},{join.rank_end})" for join in self.joins
-        )
+        self._on_slice_inserted(index + 1)

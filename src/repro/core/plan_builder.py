@@ -6,6 +6,15 @@ selections pushed onto the chain queues, per-slice routers where a merged
 slice serves several windows, and one order-preserving union per query that
 taps more than one slice.
 
+With ``window_kind="count"`` the same plan shape is built over
+:class:`~repro.operators.count_join.CountSlicedBinaryJoin` slices, under
+the two structural restrictions of rank-based windows (the same ones the
+runtime layer documents on :class:`~repro.runtime.engine.CountStreamEngine`):
+the chain must be Mem-Opt — a merged slice's results cannot be re-split by
+rank at routing time — and selections are applied to each query's results
+only, never pushed into the chain (a pushed filter would redefine which
+tuples occupy the most recent N ranks).
+
 The resulting :class:`~repro.engine.plan.QueryPlan` has one named output per
 query of the workload and can be executed by either executor.
 """
@@ -15,13 +24,16 @@ from __future__ import annotations
 from repro.core.mem_opt import build_mem_opt_chain
 from repro.core.pushdown import pushed_filters, residual_filters
 from repro.core.slices import ChainSpec
+from repro.engine.errors import ChainError, ConfigurationError
 from repro.engine.plan import QueryPlan
+from repro.operators.count_join import CountSlicedBinaryJoin
 from repro.operators.router import Route, Router
 from repro.operators.selection import Selection, StreamFilter
 from repro.operators.sliced_join import SlicedBinaryJoin
 from repro.operators.union import OrderedUnion
 from repro.query.predicates import TruePredicate
 from repro.query.query import QueryWorkload
+from repro.query.windows import as_count
 
 __all__ = ["build_state_slice_plan"]
 
@@ -33,6 +45,8 @@ def build_state_slice_plan(
     chain: ChainSpec | None = None,
     push_selections: bool = True,
     plan_name: str = "state-slice",
+    window_kind: str = "time",
+    probe: str = "nested_loop",
 ) -> QueryPlan:
     """Build the shared state-slice plan for a workload.
 
@@ -42,19 +56,32 @@ def build_state_slice_plan(
         The continuous queries to share.
     chain:
         Chain specification; defaults to the Mem-Opt chain (one slice per
-        distinct window).  Pass a CPU-Opt chain to build the merged variant.
+        distinct window).  Pass a CPU-Opt chain to build the merged variant
+        (time windows only; count chains keep the Mem-Opt shape).
     push_selections:
         When True (the default), the per-slice disjunction filters σ' are
         installed on the chain (Section 6.1).  When False the selections are
         applied only to each query's results, which reproduces the behaviour
         of a chain without selection push-down for ablation studies.
+        Ignored for count windows (selections are always residual there).
+    window_kind:
+        ``"time"`` (default) or ``"count"`` — the interpretation of every
+        query window (seconds vs most-recent-N tuple ranks).
+    probe:
+        Probe algorithm of every sliced join: ``"nested_loop"`` (the
+        paper's cost model), ``"hash"`` (equi-join conditions only) or
+        ``"auto"``.
     """
+    if window_kind == "count":
+        return _build_count_state_slice_plan(workload, chain, plan_name, probe)
+    if window_kind != "time":
+        raise ConfigurationError(
+            f"window_kind must be 'time' or 'count', got {window_kind!r}"
+        )
     chain = chain or build_mem_opt_chain(workload)
     plan = QueryPlan(plan_name)
-    left_stream = workload.left_stream
-    right_stream = workload.right_stream
 
-    joins = _add_chain_joins(plan, workload, chain)
+    joins = _add_chain_joins(plan, workload, chain, probe)
     _wire_chain(plan, workload, chain, joins, push_selections)
     _wire_entries(plan, workload, chain, joins, push_selections)
     _wire_outputs(plan, workload, chain, joins, push_selections)
@@ -63,7 +90,7 @@ def build_state_slice_plan(
 
 
 def _add_chain_joins(
-    plan: QueryPlan, workload: QueryWorkload, chain: ChainSpec
+    plan: QueryPlan, workload: QueryWorkload, chain: ChainSpec, probe: str
 ) -> list[SlicedBinaryJoin]:
     joins = []
     for index, slice_spec in enumerate(chain.slices):
@@ -73,11 +100,98 @@ def _add_chain_joins(
             condition=workload.join_condition,
             left_stream=workload.left_stream,
             right_stream=workload.right_stream,
+            probe=probe,
             name=f"slice_{index + 1}",
         )
         plan.add_operator(join)
         joins.append(join)
     return joins
+
+
+def _build_count_state_slice_plan(
+    workload: QueryWorkload,
+    chain: ChainSpec | None,
+    plan_name: str,
+    probe: str,
+) -> QueryPlan:
+    """The count-window variant: a Mem-Opt chain of count-sliced joins."""
+    chain = chain or build_mem_opt_chain(workload)
+    if not chain.is_memory_optimal:
+        raise ChainError(
+            "count-window chains must be Mem-Opt (one slice per registered "
+            "count): a merged slice's results cannot be re-split by rank at "
+            "routing time"
+        )
+    boundaries = [
+        as_count(boundary, context="chain boundary") for boundary in chain.boundaries()[1:]
+    ]
+    plan = QueryPlan(plan_name)
+    joins: list[CountSlicedBinaryJoin] = []
+    previous = 0
+    for index, end in enumerate(boundaries):
+        join = CountSlicedBinaryJoin(
+            rank_start=previous,
+            rank_end=end,
+            condition=workload.join_condition,
+            left_stream=workload.left_stream,
+            right_stream=workload.right_stream,
+            probe=probe,
+            name=f"slice_{index + 1}",
+        )
+        plan.add_operator(join)
+        joins.append(join)
+        previous = end
+    plan.add_entry(workload.left_stream, joins[0], "left")
+    plan.add_entry(workload.right_stream, joins[0], "right")
+    for index in range(len(joins) - 1):
+        plan.connect(joins[index], "next", joins[index + 1], "chain")
+
+    # Per-slice result routing: a query taps every slice inside its count.
+    # The Mem-Opt invariant makes rank checks unnecessary; only residual
+    # selections (always the query's own — nothing is pushed) need a router.
+    union_inputs: dict[str, list[tuple[str, str]]] = {q.name: [] for q in workload}
+    for index, join in enumerate(joins):
+        routes: list[Route] = []
+        direct: list[str] = []
+        for query in workload:
+            if query.window < join.rank_end - _EPSILON:
+                continue  # The slice is beyond this query's count.
+            if query.has_selection:
+                routes.append(
+                    Route(
+                        port=query.name,
+                        left_filter=query.left_filter,
+                        right_filter=query.right_filter,
+                    )
+                )
+            else:
+                direct.append(query.name)
+        if routes:
+            router = Router(routes, name=f"router_{index + 1}")
+            plan.add_operator(router)
+            plan.connect(join, "output", router, "in")
+            for route in routes:
+                union_inputs[route.port].append((router.name, route.port))
+        for query_name in direct:
+            union_inputs[query_name].append((join.name, "output"))
+
+    for query in workload:
+        completing_index = boundaries.index(as_count(query.window))
+        sources = union_inputs[query.name]
+        if len(sources) == 1:
+            source_name, source_port = sources[0]
+            plan.add_output(query.name, source_name, source_port)
+            continue
+        union = OrderedUnion(name=f"union_{query.name}")
+        plan.add_operator(union)
+        for source_name, source_port in sources:
+            plan.connect(source_name, source_port, union, "in")
+        # The propagated male of the query's last slice acts as the
+        # punctuation that lets the union release sorted results.
+        plan.connect(joins[completing_index], "punct", union, "in")
+        plan.add_output(query.name, union, "out")
+    plan.validate()
+    return plan
 
 
 def _wire_entries(

@@ -24,6 +24,7 @@ from typing import Iterable, Mapping
 __all__ = [
     "CostCategory",
     "MetricsCollector",
+    "MetricsSnapshot",
     "StateMemorySample",
     "RunReport",
 ]
@@ -52,6 +53,62 @@ class StateMemorySample:
     tuples_in_state: int
 
 
+class MetricsSnapshot(dict):
+    """A point-in-time copy of a collector's counters.
+
+    Behaves as a flat ``{key: float}`` dictionary (so existing report code
+    keeps working) and adds :meth:`diff`, which turns two snapshots taken
+    around a stream window into the *windowed* counter deltas — the raw
+    material for online rate/selectivity estimation
+    (:mod:`repro.core.statistics`) without resetting the collector.
+    """
+
+    #: Key prefixes that denote monotone counters (safe to subtract).
+    _COUNTER_PREFIXES = (
+        "comparisons.",
+        "invocations.",
+        "emitted.",
+        "ingested.",
+        "observations.",
+    )
+    _COUNTER_KEYS = ("cpu_cost",)
+
+    @staticmethod
+    def _is_counter(key: str) -> bool:
+        return key in MetricsSnapshot._COUNTER_KEYS or key.startswith(
+            MetricsSnapshot._COUNTER_PREFIXES
+        )
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counter deltas between ``earlier`` and this (later) snapshot.
+
+        Monotone counters (comparisons, invocations, emissions, ingests,
+        observations, ``cpu_cost``) are subtracted; keys absent from
+        ``earlier`` count from zero.  ``service_rate`` is recomputed from the
+        deltas (the windowed service rate), ``time.last`` keeps the later
+        value, and ``time.elapsed`` is added as the stream-time span of the
+        window.  Gauges that cannot be windowed (``memory.average``,
+        ``memory.max``) keep the later snapshot's value.
+        """
+        delta = MetricsSnapshot()
+        for key, value in self.items():
+            if self._is_counter(key):
+                delta[key] = value - earlier.get(key, 0.0)
+            else:
+                delta[key] = value
+        delta["time.elapsed"] = self.get("time.last", 0.0) - earlier.get("time.last", 0.0)
+        cost = delta.get("cpu_cost", 0.0)
+        delta["service_rate"] = delta.get("emitted.total", 0.0) / cost if cost > 0 else 0.0
+        return delta
+
+    def rate(self, key: str, per: str = "time.elapsed") -> float:
+        """A windowed rate: ``self[key] / self[per]`` guarding zero spans."""
+        denominator = self.get(per, 0.0)
+        if denominator <= 0:
+            return 0.0
+        return self.get(key, 0.0) / denominator
+
+
 class MetricsCollector:
     """Accumulates comparison counts, invocations and state-memory samples."""
 
@@ -68,6 +125,16 @@ class MetricsCollector:
         self.system_overhead = float(system_overhead)
         #: Number of input tuples fed into the plan.
         self.tuples_ingested = 0
+        #: Per-stream ingest counters (populated when callers pass a stream).
+        self.ingested: dict[str, int] = defaultdict(int)
+        #: Free-form monotone counters used by online estimators (e.g. the
+        #: adaptive policy's match/opportunity and filter pass/seen counts).
+        #: Observations are bookkeeping, not simulated work: they never enter
+        #: ``cpu_cost``.
+        self.observations: dict[str, float] = defaultdict(float)
+        #: Latest stream timestamp observed (advanced by memory samples and
+        #: :meth:`observe_time`); gives snapshots a stream-time axis.
+        self.last_timestamp = 0.0
 
     # -- CPU accounting -----------------------------------------------------
     def count(self, category: str, amount: int = 1) -> None:
@@ -88,12 +155,25 @@ class MetricsCollector:
     def record_emission(self, output_name: str, amount: int = 1) -> None:
         self.emitted[output_name] += amount
 
-    def record_ingest(self, amount: int = 1) -> None:
+    def record_ingest(self, amount: int = 1, stream: str | None = None) -> None:
         self.tuples_ingested += amount
+        if stream is not None:
+            self.ingested[stream] += amount
+
+    def observe(self, name: str, amount: float = 1) -> None:
+        """Record ``amount`` estimator observations (not CPU cost)."""
+        if amount:
+            self.observations[name] += amount
+
+    def observe_time(self, timestamp: float) -> None:
+        """Advance the stream-time axis without sampling memory."""
+        if timestamp > self.last_timestamp:
+            self.last_timestamp = timestamp
 
     # -- memory accounting ----------------------------------------------------
     def sample_memory(self, timestamp: float, tuples_in_state: int) -> None:
         self.memory_samples.append(StateMemorySample(timestamp, tuples_in_state))
+        self.observe_time(timestamp)
 
     # -- derived quantities -----------------------------------------------------
     @property
@@ -161,22 +241,44 @@ class MetricsCollector:
             self.invocations[key] += value
         for key, value in other.emitted.items():
             self.emitted[key] += value
+        for key, value in other.ingested.items():
+            self.ingested[key] += value
+        for key, value in other.observations.items():
+            self.observations[key] += value
         self.memory_samples.extend(other.memory_samples)
         self.tuples_ingested += other.tuples_ingested
+        self.observe_time(other.last_timestamp)
 
-    def snapshot(self) -> dict[str, float]:
-        """Compact dictionary view used by reports and tests."""
-        data: dict[str, float] = {
-            f"comparisons.{category}": float(self.comparisons.get(category, 0))
-            for category in CostCategory.ALL
-        }
+    def snapshot(self) -> MetricsSnapshot:
+        """Point-in-time view of every counter (a flat ``{key: float}`` map).
+
+        Two snapshots taken around a stream window can be subtracted with
+        :meth:`MetricsSnapshot.diff` to obtain windowed per-operator and
+        per-stream rates without resetting this collector.
+        """
+        data = MetricsSnapshot(
+            {
+                f"comparisons.{category}": float(self.comparisons.get(category, 0))
+                for category in CostCategory.ALL
+            }
+        )
         data["comparisons.total"] = float(self.total_comparisons)
+        for name, value in self.invocations.items():
+            data[f"invocations.{name}"] = float(value)
         data["invocations.total"] = float(self.total_invocations)
+        for name, value in self.emitted.items():
+            data[f"emitted.{name}"] = float(value)
         data["emitted.total"] = float(self.total_emitted)
+        for stream, value in self.ingested.items():
+            data[f"ingested.{stream}"] = float(value)
+        data["ingested.total"] = float(self.tuples_ingested)
+        for name, value in self.observations.items():
+            data[f"observations.{name}"] = float(value)
         data["memory.average"] = self.average_state_memory()
         data["memory.max"] = float(self.max_state_memory())
         data["cpu_cost"] = self.cpu_cost()
         data["service_rate"] = self.service_rate()
+        data["time.last"] = self.last_timestamp
         return data
 
 

@@ -18,7 +18,22 @@ from typing import Sequence
 
 from repro.engine.errors import QueryError
 
-__all__ = ["TimeWindow", "CountWindow", "WindowSlice", "slice_boundaries"]
+__all__ = ["TimeWindow", "CountWindow", "WindowSlice", "slice_boundaries", "as_count"]
+
+
+def as_count(window: float, context: str = "window") -> int:
+    """Coerce a window size to a positive integer tuple count.
+
+    Count-based plan builders accept the same :class:`ContinuousQuery`
+    objects as the time-based ones (``window`` is a float there); this
+    validates that every window is usable as a rank boundary.
+    """
+    count = int(window)
+    if count != window or count <= 0:
+        raise QueryError(
+            f"{context} must be a positive integer tuple count, got {window!r}"
+        )
+    return count
 
 
 @dataclass(frozen=True, slots=True, order=True)

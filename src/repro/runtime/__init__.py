@@ -7,8 +7,17 @@ package adds the dynamic half of the paper's story (Section 5.3): a
 continuous queries register and deregister *while the stream is running*,
 migrating the chain incrementally — splitting and merging window slices
 in place — so no in-flight join state is lost or duplicated.
+
+:class:`AdaptivePolicy` closes the feedback loop: the session estimates its
+own arrival rates, join factor and selection selectivities from windowed
+metric-counter deltas (one shared statistics plane with the static
+optimizer, :mod:`repro.core.statistics`) and re-runs the CPU-Opt chain
+search — migrating the live chain and re-deriving the selection push-down —
+whenever the observed statistics drift from the ones the chain was
+optimized for.
 """
 
+from repro.runtime.adaptive import AdaptivePolicy, PolicyEvent
 from repro.runtime.engine import (
     CountStreamEngine,
     EngineStats,
@@ -18,9 +27,11 @@ from repro.runtime.engine import (
 )
 
 __all__ = [
+    "AdaptivePolicy",
     "CountStreamEngine",
     "EngineStats",
     "MigrationEvent",
+    "PolicyEvent",
     "RegisteredQuery",
     "StreamEngine",
 ]

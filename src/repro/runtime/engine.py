@@ -54,6 +54,17 @@ sliced state.  Indexes survive split/merge migrations (rebuilt by the
 chain's ``load_state``); the ≥2× throughput gate lives in
 ``benchmarks/test_hash_probe.py``.
 
+**Adaptive re-optimization** — with ``collect_statistics=True`` (or an
+attached :class:`~repro.runtime.adaptive.AdaptivePolicy`) every processed
+batch also records the estimator observations of the shared statistics
+plane (:mod:`repro.core.statistics`): per-stream ingest counts, head-slice
+match/candidate counts, and per-query selection pass rates.  Windowed
+snapshot diffs of those counters yield live
+:class:`~repro.core.statistics.StreamStatistics` estimates, and
+:meth:`StreamEngine.rebalance` accepts such an estimate to run the CPU-Opt
+search on *measured* rates and selectivities — the policy automates exactly
+that loop, with hysteresis and a cooldown so stable load never migrates.
+
 Arrivals are processed through the vectorized ``process_batch`` path in
 batches of ``batch_size`` (1 = per-tuple).  Per-query results are delivered
 in timestamp order (ties broken by sequence numbers), which makes the
@@ -70,6 +81,12 @@ from repro.core.count_chain import CountSlicedJoinChain
 from repro.core.cpu_opt import build_cpu_opt_chain
 from repro.core.merge_graph import ChainCostParameters
 from repro.core.pushdown import residual_predicate
+from repro.core.statistics import (
+    OBS_CHAIN_MATCHES,
+    OBS_CHAIN_OPPORTUNITIES,
+    StreamStatistics,
+    filter_observation_key,
+)
 from repro.engine.errors import MigrationError, QueryError
 from repro.engine.metrics import CostCategory, MetricsCollector
 from repro.operators.sliced_join import resolve_probe
@@ -155,6 +172,16 @@ class StreamEngine:
     probe:
         Probe algorithm of every slice: ``"nested_loop"`` (the paper's cost
         model), ``"hash"`` (equi-join conditions only) or ``"auto"``.
+    policy:
+        Optional :class:`~repro.runtime.adaptive.AdaptivePolicy`; attaching
+        one turns statistics collection on and lets the session re-optimize
+        its own chain from observed drift.
+    collect_statistics:
+        Record the estimator observations (per-stream ingest rates, head
+        slice match/opportunity counts, per-query selection pass rates)
+        even without a policy, so callers can build
+        :class:`~repro.core.statistics.StreamStatistics` estimates from
+        snapshot diffs themselves.
     """
 
     def __init__(
@@ -166,6 +193,8 @@ class StreamEngine:
         metrics: MetricsCollector | None = None,
         window_kind: str = "time",
         probe: str = "nested_loop",
+        policy=None,
+        collect_statistics: bool = False,
     ) -> None:
         if window_kind not in ("time", "count"):
             raise QueryError(
@@ -184,6 +213,10 @@ class StreamEngine:
         self._results: dict[str, list[JoinedTuple]] = {}
         self._pending: list[StreamTuple] = []
         self._routing: list[list[_Route]] = []
+        self.policy = None
+        self._observing = bool(collect_statistics)
+        if policy is not None:
+            self.attach_policy(policy)
 
     # -- admission -------------------------------------------------------------
     def add_query(
@@ -356,18 +389,33 @@ class StreamEngine:
         self._pending = []
         self.stats.arrivals += len(batch)
         self.stats.batches += 1
-        self.metrics.record_ingest(len(batch))
+        metrics = self.metrics
+        left_arrivals = sum(1 for tup in batch if tup.stream == self.left_stream)
+        right_arrivals = len(batch) - left_arrivals
+        metrics.record_ingest(left_arrivals, self.left_stream)
+        metrics.record_ingest(right_arrivals, self.right_stream)
         chain = self._chain
         if chain is None:
+            metrics.observe_time(batch[-1].timestamp)
             return  # No registered queries: arrivals pass through unjoined.
+        observing = self._observing
+        if observing:
+            pre_left, pre_right = chain.head_state_sizes()
         routing = self._routing
         results = self._results
         block: dict[str, list[JoinedTuple]] = {}
         select_count = 0
+        route_count = 0
+        head_matches = 0
         for index, joined in chain.process_batch(batch):
+            if index == 0:
+                head_matches += 1
             gap = None
             for query_name, window, left_res, right_res in routing[index]:
                 if window is not None:
+                    # One timestamp comparison per (result, window-checked
+                    # route), matching the Router accounting of Section 3.1.
+                    route_count += 1
                     if gap is None:
                         gap = abs(joined.left.timestamp - joined.right.timestamp)
                     if gap >= window:
@@ -387,11 +435,115 @@ class StreamEngine:
             # makes per-query output independent of the batch size.
             items.sort(key=lambda j: (j.timestamp, j.left.seqno, j.right.seqno))
             results[query_name].extend(items)
+            metrics.record_emission(query_name, len(items))
             delivered += len(items)
         if select_count:
-            self.metrics.count(CostCategory.SELECT, select_count)
+            metrics.count(CostCategory.SELECT, select_count)
+        if route_count:
+            metrics.count(CostCategory.ROUTE, route_count)
         self.stats.results_delivered += delivered
-        self.metrics.sample_memory(batch[-1].timestamp, chain.state_size())
+        metrics.sample_memory(batch[-1].timestamp, chain.state_size())
+        if observing:
+            self._observe_batch(
+                batch, left_arrivals, right_arrivals,
+                (pre_left, pre_right), head_matches,
+            )
+        if self.policy is not None:
+            self.policy.on_batch(self, batch[-1].timestamp)
+
+    # -- statistics observation ------------------------------------------------
+    def _observe_batch(
+        self,
+        batch: list[StreamTuple],
+        left_arrivals: int,
+        right_arrivals: int,
+        pre_sizes: tuple[int, int],
+        head_matches: int,
+    ) -> None:
+        """Record the estimator observations of one processed batch.
+
+        The join factor is observed at the head slice (matches vs candidate
+        pairs, candidate counts averaged over the batch), which is unbiased
+        whenever the head link carries no pushed-down filter — the usual
+        case, since any query without a selection keeps the entry
+        disjunction trivial.  Selection selectivities are observed by
+        evaluating each registered non-trivial predicate on the raw
+        arrivals of its stream; these evaluations are estimator
+        bookkeeping, not plan work, so they are recorded as observations
+        rather than comparisons.
+        """
+        metrics = self.metrics
+        chain = self._chain
+        assert chain is not None
+        if self._head_link_unfiltered():
+            post_left, post_right = chain.head_state_sizes()
+            pre_left, pre_right = pre_sizes
+            opportunities = (
+                left_arrivals * (pre_right + post_right) / 2
+                + right_arrivals * (pre_left + post_left) / 2
+            )
+            if opportunities > 0:
+                metrics.observe(OBS_CHAIN_OPPORTUNITIES, opportunities)
+                metrics.observe(OBS_CHAIN_MATCHES, head_matches)
+        for query in self._queries.values():
+            for side, predicate, stream in (
+                ("left", query.left_filter, self.left_stream),
+                ("right", query.right_filter, self.right_stream),
+            ):
+                if isinstance(predicate, TruePredicate):
+                    continue
+                seen = 0
+                passed = 0
+                for tup in batch:
+                    if tup.stream != stream:
+                        continue
+                    seen += 1
+                    if predicate.matches(tup):
+                        passed += 1
+                if seen:
+                    metrics.observe(
+                        filter_observation_key(query.name, side, "seen"), seen
+                    )
+                    metrics.observe(
+                        filter_observation_key(query.name, side, "pass"), passed
+                    )
+
+    def _head_link_unfiltered(self) -> bool:
+        chain = self._chain
+        if chain is None:
+            return False
+        if self.window_kind != "time":
+            return True  # Count chains never carry pushed-down filters.
+        assert isinstance(chain, SlicedJoinChain)
+        return chain.link_filters()[0] == (None, None)
+
+    def attach_policy(self, policy) -> None:
+        """Attach an :class:`~repro.runtime.adaptive.AdaptivePolicy`.
+
+        Turns statistics collection on; the policy is called after every
+        processed batch with the stream time of its last arrival.
+        """
+        self.policy = policy
+        self._observing = True
+
+    def estimated_statistics(
+        self, since: "object | None" = None
+    ) -> StreamStatistics:
+        """Statistics estimated from this session's counters.
+
+        ``since`` is an earlier :meth:`MetricsCollector.snapshot` value
+        marking the window start; by default the whole session is the
+        window.  Requires ``collect_statistics=True`` (or an attached
+        policy) for join/selection estimates; arrival rates are always
+        available.
+        """
+        before = since if since is not None else type(self.metrics)().snapshot()
+        return StreamStatistics.from_metrics_window(
+            before,
+            self.metrics.snapshot(),
+            left_stream=self.left_stream,
+            right_stream=self.right_stream,
+        )
 
     # -- results ---------------------------------------------------------------
     def results(self, name: str) -> list[JoinedTuple]:
@@ -413,7 +565,11 @@ class StreamEngine:
         return delivered
 
     # -- adaptive re-slicing ---------------------------------------------------
-    def rebalance(self, params: ChainCostParameters) -> tuple[float, ...]:
+    def rebalance(
+        self,
+        params: ChainCostParameters,
+        statistics: StreamStatistics | None = None,
+    ) -> tuple[float, ...]:
         """Migrate the live chain to the CPU-Opt boundaries for the current
         workload (Section 5.2/6.2) and return the new boundaries.
 
@@ -421,8 +577,11 @@ class StreamEngine:
         graph; the live chain is then moved there incrementally — splits
         first (they only need an enclosing slice), merges second — with the
         usual drain-and-splice discipline, so the session keeps running.
-        Time-window sessions only: a count-window session keeps the Mem-Opt
-        chain (see the class docstring).
+        ``statistics`` (typically a windowed estimate from the adaptive
+        policy) overrides the declared rates/selectivities with measured
+        ones before the search runs.  Time-window sessions only: a
+        count-window session keeps the Mem-Opt chain (see the class
+        docstring).
         """
         if not self._queries:
             raise MigrationError("cannot rebalance an engine with no queries")
@@ -438,7 +597,9 @@ class StreamEngine:
             # be rebalanced against the nested-loop cost model.
             params = replace(params, hash_probe=True)
         workload = self.workload()
-        target = [0.0] + build_cpu_opt_chain(workload, params).boundaries()[1:]
+        target = [0.0] + build_cpu_opt_chain(
+            workload, params, statistics=statistics
+        ).boundaries()[1:]
         chain = self._chain
         assert chain is not None
         for boundary in target:
@@ -660,6 +821,8 @@ class CountStreamEngine(StreamEngine):
         batch_size: int = 32,
         metrics: MetricsCollector | None = None,
         probe: str = "nested_loop",
+        policy=None,
+        collect_statistics: bool = False,
     ) -> None:
         super().__init__(
             condition,
@@ -669,4 +832,6 @@ class CountStreamEngine(StreamEngine):
             metrics=metrics,
             window_kind="count",
             probe=probe,
+            policy=policy,
+            collect_statistics=collect_statistics,
         )

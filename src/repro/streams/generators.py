@@ -39,6 +39,8 @@ __all__ = [
     "StreamSpec",
     "StreamGenerator",
     "TwoStreamWorkload",
+    "equi_key_domain",
+    "equi_value_generator",
     "generate_join_workload",
     "JOIN_KEY_DOMAIN",
 ]
@@ -255,6 +257,31 @@ def generate_join_workload(
         specs={stream_a: spec_a, stream_b: spec_b},
         duration=duration,
     )
+
+
+def equi_key_domain(join_selectivity: float) -> int:
+    """Key-domain size whose uniform equi-keys match with probability S1.
+
+    Hash probing needs an equi-key, so hash workloads approximate a
+    requested join selectivity with ``1/domain``.  Every consumer (the
+    experiment harness, the CLI runtime demo) must use this one helper for
+    both the join condition *and* the data generator, so the executed S1
+    always matches the S1 the optimizer prices with.
+    """
+    if not 0.0 < join_selectivity <= 1.0:
+        raise ConfigurationError(
+            f"join selectivity must lie in (0, 1], got {join_selectivity}"
+        )
+    return max(1, round(1.0 / join_selectivity))
+
+
+def equi_value_generator(domain: int) -> Callable[[], SelectivityValueGenerator]:
+    """A value-generator factory drawing ``join_key`` from ``domain``."""
+
+    def make() -> SelectivityValueGenerator:
+        return SelectivityValueGenerator(key_domain=domain)
+
+    return make
 
 
 def interleave(*sequences: Iterable[StreamTuple]) -> list[StreamTuple]:

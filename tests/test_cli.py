@@ -99,3 +99,117 @@ class TestCommands:
         )
         assert "Figure 19(c)" in out
         assert "slices" in out
+
+
+class TestOptimizeCommand:
+    def test_optimize_nested_loop(self, capsys):
+        out = run_cli(
+            capsys,
+            "optimize",
+            "--queries",
+            "12",
+            "--windows",
+            "small-large",
+            "--csys",
+            "4.0",
+        )
+        assert "Mem-Opt chain" in out
+        assert "CPU-Opt chain" in out
+        assert "nested loops" in out
+        assert "CPU (cmp/s)" in out
+
+    def test_optimize_hash_probe_model(self, capsys):
+        out = run_cli(
+            capsys,
+            "optimize",
+            "--queries",
+            "3",
+            "--windows",
+            "uniform",
+            "--probe",
+            "hash",
+            "--s1",
+            "0.1",
+        )
+        assert "probe model: hash" in out
+        assert "probe=hash" in out  # config label carries the probe kind
+
+    def test_optimize_hash_merges_more_than_nested(self, capsys):
+        """Hash probing shrinks the probe term, so at equal Csys the
+        CPU-Opt search merges at least as aggressively as nested loops."""
+        args = [
+            "optimize",
+            "--queries", "12", "--windows", "uniform",
+            "--rate", "10", "--s1", "0.05", "--csys", "2.0",
+        ]
+        nested = run_cli(capsys, *args)
+        hashed = run_cli(capsys, *args, "--probe", "hash")
+
+        def cpu_opt_slices(out: str) -> int:
+            for line in out.splitlines():
+                if line.startswith("CPU-Opt"):
+                    return int(line.split()[1])
+            raise AssertionError(out)
+
+        assert cpu_opt_slices(hashed) <= cpu_opt_slices(nested)
+
+
+class TestRuntimeCommand:
+    def test_runtime_demo(self, capsys):
+        out = run_cli(
+            capsys, "runtime", "--duration", "8", "--rate", "10", "--seed", "5"
+        )
+        assert "StreamEngine demo" in out
+        assert "final chain" in out
+
+    def test_runtime_stats_and_adaptive(self, capsys):
+        out = run_cli(
+            capsys,
+            "runtime",
+            "--duration",
+            "16",
+            "--rate",
+            "20",
+            "--adaptive",
+            "--stats",
+            "--policy-window",
+            "1.5",
+        )
+        assert "AdaptivePolicy" in out
+        assert "engine stats:" in out
+        assert "migration history:" in out
+        assert "StreamStatistics" in out
+
+    def test_runtime_count_windows_with_stats(self, capsys):
+        out = run_cli(
+            capsys,
+            "runtime",
+            "--duration",
+            "8",
+            "--rate",
+            "12",
+            "--window-kind",
+            "count",
+            "--windows",
+            "6",
+            "3",
+            "--stats",
+        )
+        assert "count windows" in out
+        assert "engine stats:" in out
+
+
+class TestCompareProbe:
+    def test_compare_hash_probe(self, capsys):
+        out = run_cli(
+            capsys,
+            "compare",
+            "--rate",
+            "15",
+            "--time-scale",
+            "0.05",
+            "--probe",
+            "hash",
+        )
+        assert "probe=hash" in out
+        assert "state-slice-cpu-opt" in out

@@ -199,3 +199,70 @@ class TestFigure11Grids:
         high = surfaces[0.4][0]["cpu_saving_vs_pullup_pct"]
         low = surfaces[0.025][0]["cpu_saving_vs_pullup_pct"]
         assert high > low
+
+
+class TestHashProbeModel:
+    def _settings(self, hash_probe: bool) -> TwoQuerySettings:
+        return TwoQuerySettings(
+            arrival_rate=50,
+            window_small=15,
+            window_large=60,
+            filter_selectivity=0.5,
+            join_selectivity=0.1,
+            hash_probe=hash_probe,
+        )
+
+    def test_probe_factor_scales_probe_terms_only(self):
+        nested = self._settings(hash_probe=False)
+        hashed = self._settings(hash_probe=True)
+        assert nested.probe_factor == 1.0
+        assert hashed.probe_factor == pytest.approx(0.1)
+        for cost_fn in (
+            selection_pullup_cost,
+            selection_pushdown_cost,
+            state_slice_cost,
+        ):
+            full = cost_fn(nested)
+            cheap = cost_fn(hashed)
+            assert cheap.cpu < full.cpu
+            assert cheap.memory == full.memory  # probing never touches state
+
+    def test_hash_savings_recomputed_numerically(self):
+        hashed = self._settings(hash_probe=True)
+        savings = state_slice_savings(hashed)
+        pullup = selection_pullup_cost(hashed)
+        sliced = state_slice_cost(hashed)
+        assert savings.cpu_vs_pullup == pytest.approx(
+            (pullup.cpu - sliced.cpu) / pullup.cpu
+        )
+        # Memory ratios are probe-independent, so they match the closed form.
+        nested = state_slice_savings(self._settings(hash_probe=False))
+        assert savings.memory_vs_pullup == pytest.approx(nested.memory_vs_pullup)
+
+
+class TestTwoQuerySettingsFromStatistics:
+    def test_bridge_uses_measured_quantities(self):
+        from repro.core.cost_model import two_query_settings_from_statistics
+        from repro.core.statistics import StreamStatistics
+
+        stats = StreamStatistics(
+            arrival_rates={"A": 30.0, "B": 50.0},
+            join_selectivity=0.2,
+            selection_selectivities={"Q2": (0.4, None)},
+        )
+        settings = two_query_settings_from_statistics(
+            stats, window_small=10, window_large=40, hash_probe=True
+        )
+        assert settings.arrival_rate == pytest.approx(40.0)
+        assert settings.join_selectivity == pytest.approx(0.2)
+        assert settings.filter_selectivity == pytest.approx(0.4)
+        assert settings.hash_probe is True
+
+    def test_bridge_requires_a_measured_rate(self):
+        from repro.core.cost_model import two_query_settings_from_statistics
+        from repro.core.statistics import StreamStatistics
+
+        with pytest.raises(ConfigurationError):
+            two_query_settings_from_statistics(
+                StreamStatistics(), window_small=1, window_large=2
+            )

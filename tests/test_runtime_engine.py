@@ -279,9 +279,9 @@ class TestRebalance:
         captured = {}
         real = engine_module.build_cpu_opt_chain
 
-        def spy(workload, params):
+        def spy(workload, params, statistics=None):
             captured["params"] = params
-            return real(workload, params)
+            return real(workload, params, statistics=statistics)
 
         monkeypatch.setattr(engine_module, "build_cpu_opt_chain", spy)
         engine = StreamEngine(

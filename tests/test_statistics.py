@@ -1,0 +1,259 @@
+"""Tests for the shared statistics plane (core/statistics.py) and the
+snapshot/diff counter machinery it is built on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpu_opt import build_cpu_opt_chain
+from repro.core.merge_graph import ChainCostParameters, slice_cpu_cost
+from repro.core.statistics import (
+    OBS_CHAIN_MATCHES,
+    OBS_CHAIN_OPPORTUNITIES,
+    CalibratedPredicate,
+    StreamStatistics,
+    filter_observation_key,
+)
+from repro.engine.errors import ChainError, ConfigurationError
+from repro.engine.metrics import CostCategory, MetricsCollector
+from repro.query.predicates import selectivity_filter, selectivity_join
+from repro.query.query import ContinuousQuery, QueryWorkload
+
+
+def make_workload(s_sigma: float = 0.5) -> QueryWorkload:
+    condition = selectivity_join(0.1)
+    return QueryWorkload(
+        [
+            ContinuousQuery("Q1", window=1.0, join_condition=condition),
+            ContinuousQuery(
+                "Q2",
+                window=3.0,
+                join_condition=condition,
+                left_filter=selectivity_filter(s_sigma),
+            ),
+        ]
+    )
+
+
+class TestSnapshotDiff:
+    def test_snapshot_exposes_per_operator_and_per_stream_counters(self):
+        metrics = MetricsCollector()
+        metrics.record_invocation("join_1", 3)
+        metrics.record_ingest(5, stream="A")
+        metrics.record_ingest(2, stream="B")
+        metrics.observe("chain.matches", 4)
+        snapshot = metrics.snapshot()
+        assert snapshot["invocations.join_1"] == 3.0
+        assert snapshot["ingested.A"] == 5.0
+        assert snapshot["ingested.B"] == 2.0
+        assert snapshot["ingested.total"] == 7.0
+        assert snapshot["observations.chain.matches"] == 4.0
+
+    def test_diff_subtracts_counters_without_reset(self):
+        metrics = MetricsCollector()
+        metrics.count(CostCategory.PROBE, 100)
+        metrics.record_ingest(10, stream="A")
+        metrics.sample_memory(1.0, 5)
+        before = metrics.snapshot()
+        metrics.count(CostCategory.PROBE, 40)
+        metrics.record_ingest(6, stream="A")
+        metrics.sample_memory(3.0, 9)
+        delta = metrics.snapshot().diff(before)
+        assert delta["comparisons.probe"] == 40.0
+        assert delta["ingested.A"] == 6.0
+        assert delta["time.elapsed"] == pytest.approx(2.0)
+        # The collector itself is untouched.
+        assert metrics.comparisons[CostCategory.PROBE] == 140
+
+    def test_diff_recomputes_windowed_service_rate(self):
+        metrics = MetricsCollector()
+        metrics.count(CostCategory.PROBE, 100)
+        metrics.record_emission("Q1", 10)
+        before = metrics.snapshot()
+        metrics.count(CostCategory.PROBE, 50)
+        metrics.record_emission("Q1", 25)
+        delta = metrics.snapshot().diff(before)
+        assert delta["service_rate"] == pytest.approx(25 / 50)
+
+    def test_diff_keys_absent_earlier_count_from_zero(self):
+        metrics = MetricsCollector()
+        before = metrics.snapshot()
+        metrics.record_invocation("late_op", 2)
+        delta = metrics.snapshot().diff(before)
+        assert delta["invocations.late_op"] == 2.0
+
+    def test_windowed_rate_helper(self):
+        metrics = MetricsCollector()
+        metrics.sample_memory(0.0, 0)
+        before = metrics.snapshot()
+        metrics.record_ingest(30, stream="A")
+        metrics.sample_memory(2.0, 0)
+        delta = metrics.snapshot().diff(before)
+        assert delta.rate("ingested.A") == pytest.approx(15.0)
+
+    def test_merge_folds_new_counters(self):
+        first = MetricsCollector()
+        second = MetricsCollector()
+        second.record_ingest(4, stream="A")
+        second.observe("x", 2)
+        second.observe_time(7.0)
+        first.merge(second)
+        assert first.ingested["A"] == 4
+        assert first.observations["x"] == 2
+        assert first.last_timestamp == 7.0
+
+
+class TestStreamStatisticsConstruction:
+    def test_from_workload_prior(self):
+        stats = StreamStatistics.from_workload(make_workload(0.4), 25.0, 35.0)
+        assert stats.rate("A") == 25.0
+        assert stats.rate("B") == 35.0
+        assert stats.join_selectivity == pytest.approx(0.1)
+        assert stats.selection_selectivity("Q2", "left") == pytest.approx(0.4)
+        assert stats.selection_selectivity("Q1", "left") is None
+        assert not stats.is_estimate
+
+    def test_from_metrics_window(self):
+        metrics = MetricsCollector()
+        metrics.sample_memory(0.0, 0)
+        before = metrics.snapshot()
+        metrics.record_ingest(40, stream="A")
+        metrics.record_ingest(20, stream="B")
+        metrics.observe(OBS_CHAIN_OPPORTUNITIES, 1000)
+        metrics.observe(OBS_CHAIN_MATCHES, 150)
+        metrics.observe(filter_observation_key("Q2", "left", "seen"), 40)
+        metrics.observe(filter_observation_key("Q2", "left", "pass"), 10)
+        metrics.sample_memory(2.0, 0)
+        stats = StreamStatistics.from_metrics_window(before, metrics.snapshot())
+        assert stats.rate("A") == pytest.approx(20.0)
+        assert stats.rate("B") == pytest.approx(10.0)
+        assert stats.join_selectivity == pytest.approx(0.15)
+        assert stats.selection_selectivity("Q2", "left") == pytest.approx(0.25)
+        assert stats.is_estimate
+        assert stats.sample_arrivals == 60
+        assert stats.window == pytest.approx(2.0)
+
+    def test_from_metrics_window_omits_unmeasured_quantities(self):
+        metrics = MetricsCollector()
+        before = metrics.snapshot()
+        stats = StreamStatistics.from_metrics_window(before, metrics.snapshot())
+        assert stats.arrival_rates == {}
+        assert stats.join_selectivity is None
+        assert stats.selection_selectivities == {}
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamStatistics(arrival_rates={"A": -1.0})
+
+
+class TestStreamStatisticsConsumers:
+    def test_chain_parameters_carry_measured_quantities(self):
+        stats = StreamStatistics(
+            arrival_rates={"A": 12.0, "B": 14.0}, join_selectivity=0.2
+        )
+        params = stats.chain_parameters(system_overhead=0.75, hash_probe=True)
+        assert params.arrival_rate_left == 12.0
+        assert params.arrival_rate_right == 14.0
+        assert params.system_overhead == 0.75
+        assert params.hash_probe is True
+        assert params.join_selectivity == pytest.approx(0.2)
+
+    def test_effective_join_selectivity_override(self):
+        workload = make_workload()
+        declared = ChainCostParameters()
+        measured = ChainCostParameters(join_selectivity=0.42)
+        assert declared.effective_join_selectivity(workload) == pytest.approx(0.1)
+        assert measured.effective_join_selectivity(workload) == pytest.approx(0.42)
+        slice_spec = build_cpu_opt_chain(workload, declared).slices[0]
+        # A larger measured S1 inflates route/hash terms deterministically.
+        cost_declared = slice_cpu_cost(workload, slice_spec, declared)
+        cost_measured = slice_cpu_cost(
+            workload, slice_spec, ChainCostParameters(hash_probe=True, join_selectivity=0.42)
+        )
+        assert cost_measured.probe != cost_declared.probe
+
+    def test_calibrated_workload_preserves_predicate_identity(self):
+        workload = make_workload(0.5)
+        stats = StreamStatistics(
+            arrival_rates={"A": 10.0, "B": 10.0},
+            selection_selectivities={"Q2": (0.15, None)},
+        )
+        calibrated = stats.calibrated_workload(workload)
+        original = workload.query("Q2").left_filter
+        replaced = calibrated.query("Q2").left_filter
+        assert isinstance(replaced, CalibratedPredicate)
+        assert replaced.selectivity == pytest.approx(0.15)
+        assert replaced.describe() == original.describe()
+        # Matching behaviour is delegated to the wrapped predicate.
+        from repro.streams.tuples import make_tuple
+
+        tup = make_tuple("A", 0.0, value=0.9)
+        assert replaced.matches(tup) == original.matches(tup)
+        # Queries without measurements are untouched (identity workload if
+        # nothing changed).
+        assert stats.calibrated_workload(make_workload(1.0)) is not None
+
+    def test_cpu_opt_with_statistics_reacts_to_measured_selectivity(self):
+        """The merge decision flips when measured Sσ diverges from declared.
+
+        The workload declares an ineffective selection (Sσ = 1 in the data):
+        under measured statistics the optimizer should merge (routing is
+        cheaper than the per-slice overhead at low rate), while the declared
+        strong selection (Sσ = 0.2) keeps the chain split.
+        """
+        condition = selectivity_join(0.05)
+        workload = QueryWorkload(
+            [
+                ContinuousQuery("Q1", window=0.2, join_condition=condition),
+                ContinuousQuery(
+                    "Q2",
+                    window=1.0,
+                    join_condition=condition,
+                    left_filter=selectivity_filter(0.2),
+                ),
+            ]
+        )
+        params = ChainCostParameters(
+            arrival_rate_left=40, arrival_rate_right=40, system_overhead=0.5
+        )
+        declared = build_cpu_opt_chain(workload, params)
+        measured = StreamStatistics(
+            arrival_rates={"A": 40.0, "B": 40.0},
+            join_selectivity=0.05,
+            selection_selectivities={"Q2": (1.0, None)},
+        )
+        adapted = build_cpu_opt_chain(workload, params, statistics=measured)
+        assert len(declared) == 2  # strong selection: keep the boundary
+        assert len(adapted) == 1  # ineffective selection: merge it away
+
+    def test_drift_measures_largest_relative_change(self):
+        base = StreamStatistics(
+            arrival_rates={"A": 10.0, "B": 10.0},
+            join_selectivity=0.1,
+            selection_selectivities={"Q2": (0.5, None)},
+        )
+        same = StreamStatistics(
+            arrival_rates={"A": 10.5, "B": 9.5},
+            join_selectivity=0.1,
+            selection_selectivities={"Q2": (0.5, None)},
+        )
+        assert same.drift(base) == pytest.approx(0.05)
+        shifted = StreamStatistics(
+            arrival_rates={"A": 10.0, "B": 10.0},
+            join_selectivity=0.1,
+            selection_selectivities={"Q2": (0.2, None)},
+        )
+        assert shifted.drift(base) == pytest.approx(0.6)
+        # Quantities measured on only one side are ignored.
+        partial = StreamStatistics(arrival_rates={"A": 10.0})
+        assert partial.drift(base) == 0.0
+
+    def test_describe_mentions_origin(self):
+        prior = StreamStatistics.from_workload(make_workload(), 10.0)
+        assert "declared prior" in prior.describe()
+
+
+class TestChainCostParameterValidation:
+    def test_join_selectivity_bounds(self):
+        with pytest.raises(ChainError):
+            ChainCostParameters(join_selectivity=1.5)
