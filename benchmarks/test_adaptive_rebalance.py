@@ -27,9 +27,9 @@ The measured trajectory is recorded in ``results/BENCH_adaptive.json``.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
-from pathlib import Path
+
+from _bench_util import record_run
 
 from repro.core.merge_graph import ChainCostParameters
 from repro.core.statistics import StreamStatistics
@@ -224,8 +224,7 @@ def test_adaptive_rebalance_gate(results_dir):
             "oracle_tolerance": ORACLE_TOLERANCE,
         },
     }
-    path = Path(results_dir) / "BENCH_adaptive.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    path = record_run(results_dir, "adaptive", payload)
 
     assert speedup >= SPEEDUP_GATE, (
         f"post-drift adaptive throughput only {speedup:.2f}x the "

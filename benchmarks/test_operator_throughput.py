@@ -13,12 +13,11 @@ trajectory of the batch-aware runtime is tracked from PR 1 on.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import pytest
+from _bench_util import record_run
 
 from repro.baselines.pullup import build_pullup_plan
 from repro.baselines.pushdown import build_pushdown_plan
@@ -115,6 +114,30 @@ def _time_state_slice_run(batch_size: int, rounds: int = 3) -> float:
     return best
 
 
+def _probe_hot_path_entry(rounds: int = 3) -> dict:
+    """Nested-loop probe micro-benchmark riding along with the sweep.
+
+    Isolates the sliced-join probe inner loop (no executor, no routing) so
+    the trajectory shows hot-path changes — e.g. the pre-bound probe
+    predicate of ``JoinCondition.bind_left`` — separately from batching
+    effects.  Successive runs in ``BENCH_batching.json`` are the
+    before/after record.
+    """
+    condition = selectivity_join(0.1)
+    best = float("inf")
+    for _ in range(rounds):
+        chain = SlicedJoinChain([0.0, 0.5, 1.0, 1.5], condition)
+        start = time.perf_counter()
+        chain.process_batch(DATA.tuples)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "chain_boundaries": [0.0, 0.5, 1.0, 1.5],
+        "probe": "nested_loop",
+        "seconds": round(best, 6),
+        "tuples_per_sec": round(len(DATA.tuples) / best, 1),
+    }
+
+
 def test_throughput_batch_size_sweep(results_dir):
     """Sweep the executor batch size and record the perf trajectory.
 
@@ -156,9 +179,9 @@ def test_throughput_batch_size_sweep(results_dir):
             "filter_selectivities": [1.0, 0.5, 0.5],
         },
         "results": rows,
+        "probe_hot_path": _probe_hot_path_entry(),
     }
-    path = Path(results_dir) / "BENCH_batching.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    path = record_run(results_dir, "batching", payload)
 
     assert all(row["outputs_identical_to_per_tuple"] for row in rows)
     best_batched = max(

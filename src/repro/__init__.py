@@ -73,7 +73,10 @@ from repro.runtime import (
     AdaptivePolicy,
     CountStreamEngine,
     RegisteredQuery,
+    ShardedStreamEngine,
+    ShardPlanner,
     StreamEngine,
+    shard_for_key,
 )
 from repro.streams import StreamTuple, generate_join_workload, make_tuple
 
@@ -108,7 +111,10 @@ __all__ = [
     "QueryWorkload",
     "CountStreamEngine",
     "RegisteredQuery",
+    "ShardPlanner",
+    "ShardedStreamEngine",
     "StreamEngine",
+    "shard_for_key",
     "build_workload",
     "multi_query_workload",
     "three_query_workload",

@@ -176,6 +176,22 @@ def build_parser() -> argparse.ArgumentParser:
         "a left-stream predicate with this selectivity (1.0 = no selections)",
     )
     runtime.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="key-partition the session across N StreamEngine shards "
+        "(equi-join time-window workloads; the demo switches to an "
+        "equi-join condition approximating --s1, as --probe hash does)",
+    )
+    runtime.add_argument(
+        "--shard-mode",
+        choices=("serial", "process"),
+        default="serial",
+        help="serial runs the shards round-robin in-process (algorithmic "
+        "probe win); process starts one worker per shard fed pickled "
+        "batches",
+    )
+    runtime.add_argument(
         "--stats",
         action="store_true",
         help="print the session's EngineStats, migration history and "
@@ -401,18 +417,35 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
         selectivity_filter,
         selectivity_join,
     )
-    from repro.runtime import AdaptivePolicy, StreamEngine
+    from repro.runtime import (
+        AdaptivePolicy,
+        ShardedStreamEngine,
+        ShardPlanner,
+        StreamEngine,
+    )
     from repro.streams.generators import (
         equi_key_domain,
         equi_value_generator,
         generate_join_workload,
     )
 
+    sharded = args.shards > 1
+    if sharded and args.window_kind == "count":
+        raise SystemExit(
+            "error: --shards > 1 needs time windows (a count window ranks "
+            "tuples over the whole stream, not a shard's subsequence)"
+        )
+    if sharded and args.adaptive:
+        raise SystemExit(
+            "error: --adaptive is per-engine; for sharded sessions use the "
+            "ShardPlanner (shown under --stats) instead"
+        )
     value_generator = None
-    if args.probe in ("hash", "auto"):
-        # Hash probing needs an equi-key; approximate the requested S1 with
-        # the key-domain size (uniform keys match with probability 1/domain)
-        # and draw the synthetic keys from that same domain.
+    if sharded or args.probe in ("hash", "auto"):
+        # Hash probing and sharding both need an equi-key; approximate the
+        # requested S1 with the key-domain size (uniform keys match with
+        # probability 1/domain) and draw the synthetic keys from that same
+        # domain.
         domain = equi_key_domain(args.s1)
         condition = EquiJoinCondition("join_key", "join_key", key_domain=domain)
         value_generator = equi_value_generator(domain)
@@ -432,14 +465,24 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
             drift_threshold=args.drift_threshold,
             cooldown=args.cooldown,
         )
-    engine = StreamEngine(
-        condition,
-        batch_size=args.batch_size,
-        window_kind=args.window_kind,
-        probe=args.probe,
-        policy=policy,
-        collect_statistics=args.stats,
-    )
+    if sharded:
+        engine = ShardedStreamEngine(
+            condition,
+            shards=args.shards,
+            shard_mode=args.shard_mode,
+            batch_size=args.batch_size,
+            probe=args.probe,
+            collect_statistics=args.stats,
+        )
+    else:
+        engine = StreamEngine(
+            condition,
+            batch_size=args.batch_size,
+            window_kind=args.window_kind,
+            probe=args.probe,
+            policy=policy,
+            collect_statistics=args.stats,
+        )
     unit = "s" if args.window_kind == "time" else " rows"
     tuples = data.tuples
     windows = args.windows or [4.0]
@@ -447,9 +490,13 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
         windows = [max(1, int(window)) for window in windows]
     step = max(1, len(tuples) // (len(windows) + 1))
     admissions = {index * step: window for index, window in enumerate(windows)}
+    shard_note = (
+        f", {args.shards} {args.shard_mode} shard(s)" if sharded else ""
+    )
     lines = [
         f"StreamEngine demo: {len(tuples)} arrivals, batch size "
-        f"{args.batch_size}, {args.window_kind} windows, {args.probe} probing",
+        f"{args.batch_size}, {args.window_kind} windows, {args.probe} probing"
+        f"{shard_note}",
         "",
     ]
     for index, tup in enumerate(tuples):
@@ -508,8 +555,17 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
                 f"@ {event.boundary:g} -> "
                 f"boundaries {[round(b, 6) for b in event.boundaries_after]}"
             )
-        snapshot = engine.metrics.snapshot()
-        lines.append("  metrics snapshot:")
+        shard_snaps = engine.shard_snapshots() if sharded else None
+        snapshot = (
+            engine.merged_snapshot(shard_snaps)
+            if sharded
+            else engine.metrics.snapshot()
+        )
+        lines.append(
+            "  metrics snapshot (aggregated across shards):"
+            if sharded
+            else "  metrics snapshot:"
+        )
         for key in (
             "comparisons.probe",
             "comparisons.purge",
@@ -525,7 +581,20 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
             "memory.max",
         ):
             lines.append(f"    {key:<20} {snapshot.get(key, 0.0):g}")
-        lines.append(f"  {engine.estimated_statistics().describe()}")
+        if sharded:
+            lines.append(
+                f"  per-shard arrivals: {engine.shard_ingest_totals(shard_snaps)}"
+            )
+            lines.append(f"  {engine.merged_statistics(shard_snaps).describe()}")
+            plan = ShardPlanner(
+                max_shards=max(8, args.shards),
+                target_rate_per_shard=max(2 * args.rate / args.shards, 1.0),
+            ).plan(engine)
+            lines.append(f"  {plan.describe()} — {plan.reason}")
+        else:
+            lines.append(f"  {engine.estimated_statistics().describe()}")
+    if sharded:
+        engine.close()
     return "\n".join(lines)
 
 

@@ -37,7 +37,7 @@ collection is enabled)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.merge_graph import ChainCostParameters
 from repro.engine.errors import ConfigurationError
@@ -185,7 +185,26 @@ class StreamStatistics:
         enough evidence in the window (zero elapsed time, zero opportunities,
         zero filter evaluations) are simply omitted from the estimate.
         """
-        delta = after.diff(before)
+        return cls.from_metrics_delta(
+            after.diff(before), left_stream=left_stream, right_stream=right_stream
+        )
+
+    @classmethod
+    def from_metrics_delta(
+        cls,
+        delta: MetricsSnapshot,
+        left_stream: str = "A",
+        right_stream: str = "B",
+    ) -> "StreamStatistics":
+        """Estimate statistics from an already-computed counter delta.
+
+        ``delta`` is a :meth:`~repro.engine.metrics.MetricsSnapshot.diff`
+        window — or several such windows folded together with
+        :meth:`~repro.engine.metrics.MetricsSnapshot.aggregate`, which is how
+        a sharded session merges its per-shard observations into one global
+        estimate (all shards share the stream clock, so the aggregated
+        ``time.elapsed`` stays the window span while the counters sum).
+        """
         elapsed = delta.get("time.elapsed", 0.0)
         rates: dict[str, float] = {}
         if elapsed > 0:
@@ -225,6 +244,30 @@ class StreamStatistics:
             right_stream=right_stream,
             sample_arrivals=int(delta.get("ingested.total", 0.0)),
             window=max(0.0, elapsed),
+        )
+
+    @classmethod
+    def from_shard_windows(
+        cls,
+        windows: "Sequence[tuple[MetricsSnapshot, MetricsSnapshot]]",
+        left_stream: str = "A",
+        right_stream: str = "B",
+    ) -> "StreamStatistics":
+        """One global estimate from per-shard ``(before, after)`` snapshots.
+
+        The per-shard diffs are aggregated (counters summed, time axis
+        max'ed — see :meth:`MetricsSnapshot.aggregate`) before estimation, so
+        arrival rates, the join factor and selection selectivities describe
+        the whole partitioned session: this is the merged view a
+        :class:`~repro.runtime.sharding.ShardPlanner` consumes.
+        """
+        if not windows:
+            raise ConfigurationError("from_shard_windows needs at least one window")
+        merged = MetricsSnapshot.aggregate(
+            after.diff(before) for before, after in windows
+        )
+        return cls.from_metrics_delta(
+            merged, left_stream=left_stream, right_stream=right_stream
         )
 
     # -- lookups --------------------------------------------------------------
@@ -299,6 +342,25 @@ class StreamStatistics:
             else:
                 queries.append(query)
         return QueryWorkload(queries) if changed else workload
+
+    def scaled(self, factor: float) -> "StreamStatistics":
+        """A copy with every arrival rate multiplied by ``factor``.
+
+        Key-partitioning splits the arrival stream but not its *character*:
+        a shard of an evenly partitioned session sees ``1/N`` of each
+        stream's rate while the join factor and selection selectivities are
+        unchanged (they are ratios, invariant under uniform thinning).  The
+        sharded engine uses ``scaled(1/N)`` to price each shard's chain from
+        a global estimate.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            arrival_rates={
+                stream: rate * factor for stream, rate in self.arrival_rates.items()
+            },
+        )
 
     # -- adaptation -----------------------------------------------------------
     def blend(self, newer: "StreamStatistics", weight: float = 0.5) -> "StreamStatistics":

@@ -18,6 +18,7 @@ __all__ = [
     "ChainError",
     "MigrationError",
     "ConfigurationError",
+    "ShardingError",
 ]
 
 
@@ -59,3 +60,11 @@ class MigrationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or generator configuration is invalid."""
+
+
+class ShardingError(ReproError):
+    """A workload cannot be key-partitioned across engine shards.
+
+    Hash partitioning both streams on the equi-join key is answer-preserving
+    only when every query shares one equi-join condition over time-based
+    windows; other workloads must run unsharded (``shards=1``)."""

@@ -108,6 +108,41 @@ class MetricsSnapshot(dict):
             return 0.0
         return self.get(key, 0.0) / denominator
 
+    #: Gauges that sum across disjoint collectors: each shard's join states
+    #: are disjoint partitions of one logical session, so total resident
+    #: memory is the sum of the per-shard occupancies.
+    _ADDITIVE_GAUGES = ("memory.average", "memory.max")
+    #: Time-axis keys: every shard observes the same stream clock, so the
+    #: aggregate keeps the furthest point reached (not the sum).
+    _TIME_KEYS = ("time.last", "time.elapsed")
+
+    @classmethod
+    def aggregate(cls, snapshots: "Iterable[MetricsSnapshot]") -> "MetricsSnapshot":
+        """Fold per-shard snapshots (or windowed diffs) into one global view.
+
+        Monotone counters and memory gauges are summed — the inputs must
+        come from *disjoint* collectors, one per shard of a partitioned
+        session, so sums are the true global quantities.  Time-axis keys
+        (``time.last``, ``time.elapsed``) take the maximum, since all shards
+        run on the same stream clock; ``service_rate`` is recomputed from
+        the aggregated totals.  Works on plain :meth:`MetricsCollector.snapshot`
+        values and on :meth:`diff` windows alike.
+        """
+        merged = cls()
+        for snapshot in snapshots:
+            for key, value in snapshot.items():
+                if cls._is_counter(key) or key in cls._ADDITIVE_GAUGES:
+                    merged[key] = merged.get(key, 0.0) + value
+                elif key in cls._TIME_KEYS:
+                    merged[key] = max(merged.get(key, 0.0), value)
+                elif key not in merged:
+                    merged[key] = value
+        cost = merged.get("cpu_cost", 0.0)
+        merged["service_rate"] = (
+            merged.get("emitted.total", 0.0) / cost if cost > 0 else 0.0
+        )
+        return merged
+
 
 class MetricsCollector:
     """Accumulates comparison counts, invocations and state-memory samples."""

@@ -102,7 +102,8 @@ class CountWindowJoin(Operator):
         own_state = self._left_state if from_left else self._right_state
         other_state = self._right_state if from_left else self._left_state
         own_limit = self.count_left if from_left else self.count_right
-        matches = self.condition.matches
+        bind = self.condition.bind_left if from_left else self.condition.bind_right
+        joined_tuple = JoinedTuple
         emissions: list[Emission] = []
         append = emissions.append
         probe_count = 0
@@ -111,14 +112,18 @@ class CountWindowJoin(Operator):
             if isinstance(tup, Punctuation):
                 continue
             probe_count += len(other_state)
-            if from_left:
-                for candidate in other_state:
-                    if matches(tup, candidate):
-                        append(("output", JoinedTuple(tup, candidate)))
-            else:
-                for candidate in other_state:
-                    if matches(candidate, tup):
-                        append(("output", JoinedTuple(candidate, tup)))
+            if other_state:
+                # Pre-bound probe predicate: the arriving tuple's attribute
+                # lookups happen once, not once per resident candidate.
+                check = bind(tup)
+                if from_left:
+                    for candidate in other_state:
+                        if check(candidate):
+                            append(("output", joined_tuple(tup, candidate)))
+                else:
+                    for candidate in other_state:
+                        if check(candidate):
+                            append(("output", joined_tuple(candidate, tup)))
             own_state.append(tup)
             if len(own_state) > own_limit:
                 purge_count += 1
@@ -403,8 +408,10 @@ class CountSlicedBinaryJoin(Operator):
         key_attrs = self._key_attrs if indexes is not None else None
         left_stream = self.left_stream
         right_stream = self.right_stream
-        matches = self.condition.matches
+        bind_left = self.condition.bind_left
+        bind_right = self.condition.bind_right
         name = self.name
+        joined_tuple = JoinedTuple
         emissions: list[Emission] = []
         append = emissions.append
         probe_count = 0
@@ -427,14 +434,18 @@ class CountSlicedBinaryJoin(Operator):
             else:
                 candidates = states[opposite]
             probe_count += len(candidates)
-            if stream == left_stream:
-                for candidate in candidates:
-                    if matches(tup, candidate):
-                        append(("output", JoinedTuple(tup, candidate)))
-            else:
-                for candidate in candidates:
-                    if matches(candidate, tup):
-                        append(("output", JoinedTuple(candidate, tup)))
+            if candidates:
+                # Pre-bound probe predicate (see JoinCondition.bind_left).
+                if stream == left_stream:
+                    check = bind_left(tup)
+                    for candidate in candidates:
+                        if check(candidate):
+                            append(("output", joined_tuple(tup, candidate)))
+                else:
+                    check = bind_right(tup)
+                    for candidate in candidates:
+                        if check(candidate):
+                            append(("output", joined_tuple(candidate, tup)))
             append(("next", RefTuple(tup, "male")))
             append(("punct", Punctuation(tup.timestamp, source=name)))
 

@@ -159,8 +159,10 @@ class SlicedOneWayJoin(Operator):
         end = self.slice.end
         enforce = self.enforce_bounds
         contains_offset = self.slice.contains_offset
-        matches = self.condition.matches
+        bind_right = self.condition.bind_right
         name = self.name
+        joined_tuple = JoinedTuple
+        punctuation = Punctuation
         emissions = []
         append = emissions.append
         purge_count = 0
@@ -179,13 +181,17 @@ class SlicedOneWayJoin(Operator):
                 else:
                     break
             probe_count += len(state)
-            for candidate in state:
-                if enforce and not contains_offset(ts - candidate.timestamp):
-                    continue
-                if matches(candidate, item):
-                    append(("output", JoinedTuple(candidate, item)))
+            if state:
+                # Pre-bound probe predicate: the probing tuple's attribute
+                # lookups happen once, not once per resident candidate.
+                check = bind_right(item)
+                for candidate in state:
+                    if enforce and not contains_offset(ts - candidate.timestamp):
+                        continue
+                    if check(candidate):
+                        append(("output", joined_tuple(candidate, item)))
             append(("propagated", item))
-            append(("punct", Punctuation(ts, source=name)))
+            append(("punct", punctuation(ts, source=name)))
         self.metrics.record_invocation(name, len(batch))
         self.metrics.count(CostCategory.PURGE, purge_count)
         self.metrics.count(CostCategory.PROBE, probe_count)
@@ -355,8 +361,12 @@ class SlicedBinaryJoin(Operator):
         end = self.slice.end
         enforce = self.enforce_bounds
         contains_offset = self.slice.contains_offset
-        matches = self.condition.matches
+        bind_left = self.condition.bind_left
+        bind_right = self.condition.bind_right
         name = self.name
+        joined_tuple = JoinedTuple
+        ref_tuple = RefTuple
+        punctuation = Punctuation
         emissions: list[Emission] = []
         append = emissions.append
         purge_count = 0
@@ -389,7 +399,7 @@ class SlicedBinaryJoin(Operator):
                         f"join {self.name!r} joins streams {sorted(states)}, got a "
                         f"tuple of stream {stream!r}"
                     )
-                ref = RefTuple(base, MALE)
+                ref = ref_tuple(base, MALE)
                 insert_after = True
             # -- male: cross-purge, probe, propagate (Figure 9) ----------------
             if stream == left_stream:
@@ -410,7 +420,7 @@ class SlicedBinaryJoin(Operator):
                     state.popleft()
                     if indexes is not None:
                         self._unindex_head(opposite, head)
-                    append(("next", RefTuple(head, FEMALE)))
+                    append(("next", ref_tuple(head, FEMALE)))
                 else:
                     break
             if indexes is not None:
@@ -418,20 +428,27 @@ class SlicedBinaryJoin(Operator):
             else:
                 candidates = state
             probe_count += len(candidates)
-            if stream == left_stream:
-                for candidate in candidates:
-                    if enforce and not contains_offset(ts - candidate.timestamp):
-                        continue
-                    if matches(base, candidate):
-                        append(("output", JoinedTuple(base, candidate)))
-            else:
-                for candidate in candidates:
-                    if enforce and not contains_offset(ts - candidate.timestamp):
-                        continue
-                    if matches(candidate, base):
-                        append(("output", JoinedTuple(candidate, base)))
+            if candidates:
+                # Pre-bound probe predicate (see JoinCondition.bind_left):
+                # the probing male's attribute lookups are hoisted out of
+                # the candidate loop, which dominates per-probe cost in the
+                # nested-loop path.
+                if stream == left_stream:
+                    check = bind_left(base)
+                    for candidate in candidates:
+                        if enforce and not contains_offset(ts - candidate.timestamp):
+                            continue
+                        if check(candidate):
+                            append(("output", joined_tuple(base, candidate)))
+                else:
+                    check = bind_right(base)
+                    for candidate in candidates:
+                        if enforce and not contains_offset(ts - candidate.timestamp):
+                            continue
+                        if check(candidate):
+                            append(("output", joined_tuple(candidate, base)))
             append(("next", ref))
-            append(("punct", Punctuation(ts, source=name)))
+            append(("punct", punctuation(ts, source=name)))
             if insert_after:
                 # The female copy of a raw arrival fills its own state after
                 # the male finished, matching :meth:`_process_arrival`.

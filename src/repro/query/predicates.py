@@ -308,6 +308,10 @@ def conjunction(predicates: Iterable[Predicate]) -> Predicate:
 # ---------------------------------------------------------------------------
 # Join conditions
 # ---------------------------------------------------------------------------
+def _always_true(tup: StreamTuple) -> bool:
+    return True
+
+
 class JoinCondition:
     """Boolean condition over a pair of tuples (one per stream)."""
 
@@ -319,6 +323,32 @@ class JoinCondition:
 
     def __call__(self, left: StreamTuple, right: StreamTuple) -> bool:
         return self.matches(left, right)
+
+    def bind_left(self, left: StreamTuple) -> Callable[[StreamTuple], bool]:
+        """Pre-bound probe predicate: ``check(right) == matches(left, right)``.
+
+        A nested-loop probe evaluates one fixed tuple against every resident
+        candidate; pre-binding lets subclasses hoist the fixed side's
+        attribute lookups (and any derived constants) out of the inner loop,
+        which is where per-probe method-resolution and dict-lookup overhead
+        dominates.  The returned callable must be semantically identical to
+        ``matches`` — the differential suites hold operators to that.
+        """
+        matches = self.matches
+
+        def check(right: StreamTuple) -> bool:
+            return matches(left, right)
+
+        return check
+
+    def bind_right(self, right: StreamTuple) -> Callable[[StreamTuple], bool]:
+        """Pre-bound probe predicate: ``check(left) == matches(left, right)``."""
+        matches = self.matches
+
+        def check(left: StreamTuple) -> bool:
+            return matches(left, right)
+
+        return check
 
     def describe(self) -> str:
         return type(self).__name__
@@ -336,6 +366,12 @@ class CrossProductCondition(JoinCondition):
 
     def matches(self, left: StreamTuple, right: StreamTuple) -> bool:
         return True
+
+    def bind_left(self, left: StreamTuple) -> Callable[[StreamTuple], bool]:
+        return _always_true
+
+    def bind_right(self, right: StreamTuple) -> Callable[[StreamTuple], bool]:
+        return _always_true
 
     def describe(self) -> str:
         return "true (cross product)"
@@ -363,6 +399,26 @@ class EquiJoinCondition(JoinCondition):
 
     def matches(self, left: StreamTuple, right: StreamTuple) -> bool:
         return left[self.left_attribute] == right[self.right_attribute]
+
+    def bind_left(self, left: StreamTuple) -> Callable[[StreamTuple], bool]:
+        # Hoists the probing side's key lookup out of the candidate loop;
+        # the candidate side reads its payload dict directly.
+        key = left[self.left_attribute]
+        attribute = self.right_attribute
+
+        def check(right: StreamTuple) -> bool:
+            return right.values[attribute] == key
+
+        return check
+
+    def bind_right(self, right: StreamTuple) -> Callable[[StreamTuple], bool]:
+        key = right[self.right_attribute]
+        attribute = self.left_attribute
+
+        def check(left: StreamTuple) -> bool:
+            return left.values[attribute] == key
+
+        return check
 
     def describe(self) -> str:
         return f"{self.left_attribute} == {self.right_attribute}"
@@ -398,6 +454,23 @@ class ModularMatchCondition(JoinCondition):
 
     def matches(self, left: StreamTuple, right: StreamTuple) -> bool:
         return (left[self.attribute] + right[self.attribute]) % self.domain < self.threshold
+
+    def _bind(self, bound: StreamTuple) -> Callable[[StreamTuple], bool]:
+        # The condition is symmetric in its two sides, so one binding
+        # serves both: hoist the fixed side's key and the dataclass field
+        # reads out of the candidate loop.
+        base = bound[self.attribute]
+        attribute = self.attribute
+        domain = self.domain
+        threshold = self.threshold
+
+        def check(other: StreamTuple) -> bool:
+            return (base + other.values[attribute]) % domain < threshold
+
+        return check
+
+    bind_left = _bind
+    bind_right = _bind
 
     def describe(self) -> str:
         return f"(l.{self.attribute} + r.{self.attribute}) % {self.domain} < {self.threshold}"

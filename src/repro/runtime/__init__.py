@@ -15,6 +15,13 @@ optimizer, :mod:`repro.core.statistics`) and re-runs the CPU-Opt chain
 search — migrating the live chain and re-deriving the selection push-down —
 whenever the observed statistics drift from the ones the chain was
 optimized for.
+
+:class:`ShardedStreamEngine` scales the session out: for equi-join
+workloads both input streams are hash-partitioned on the join key across N
+inner engines (serial or one worker process per shard), with admissions
+fanned out to every shard and per-shard results merged into a
+deterministic global order; :class:`ShardPlanner` sizes N and detects key
+skew from the aggregated statistics plane.
 """
 
 from repro.runtime.adaptive import AdaptivePolicy, PolicyEvent
@@ -25,6 +32,13 @@ from repro.runtime.engine import (
     RegisteredQuery,
     StreamEngine,
 )
+from repro.runtime.sharding import (
+    ShardConfig,
+    ShardedStreamEngine,
+    ShardPlan,
+    ShardPlanner,
+    shard_for_key,
+)
 
 __all__ = [
     "AdaptivePolicy",
@@ -33,5 +47,10 @@ __all__ = [
     "MigrationEvent",
     "PolicyEvent",
     "RegisteredQuery",
+    "ShardConfig",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedStreamEngine",
     "StreamEngine",
+    "shard_for_key",
 ]

@@ -147,6 +147,24 @@ class EngineStats:
     results_delivered: int = 0
     migrations: list[MigrationEvent] = field(default_factory=list)
 
+    @classmethod
+    def aggregate(cls, stats: Iterable["EngineStats"]) -> "EngineStats":
+        """Fold the stats of several shard sessions into one global view.
+
+        Counters sum; the migration history is taken from the first session
+        — a sharded engine fans every admission out to all shards, so the
+        shards' migration sequences are replicas of each other (only the
+        per-shard ``arrival_count`` stamps differ).
+        """
+        merged = cls()
+        for entry in stats:
+            merged.arrivals += entry.arrivals
+            merged.batches += entry.batches
+            merged.results_delivered += entry.results_delivered
+            if not merged.migrations:
+                merged.migrations = list(entry.migrations)
+        return merged
+
 
 class StreamEngine:
     """A live shared sliced-join session with online query admission.

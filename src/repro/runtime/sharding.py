@@ -1,0 +1,841 @@
+"""Key-partitioned sharded runtime: N-way StreamEngine scale-out.
+
+One :class:`~repro.runtime.engine.StreamEngine` probes one monolithic
+per-slice state.  For an *equi-join* workload that is more work than the
+answer requires: two tuples can only join when they agree on the join key,
+so hash-partitioning **both** input streams on that key splits the session
+into N completely independent sub-sessions — every joinable pair lands in
+the same shard, and the union of the per-shard answers is exactly the
+unsharded answer.
+
+:class:`ShardedStreamEngine` implements that split:
+
+* **routing** — each arrival goes to ``shard_for_key(key, N)`` where the key
+  is the tuple's side of the shared equi-join condition; the partitioner is
+  a stable CRC-32 hash, deterministic across processes and runs (so the
+  process-parallel driver and the differential tests agree on placement);
+* **admission fan-out** — ``add_query`` / ``remove_query`` / ``rebalance``
+  are applied to every shard, so all shards keep identical chain boundaries
+  and pushed-down filters (one logical session, N replicas of its plan);
+* **deterministic merge** — per-query results are merged across shards in
+  ``(timestamp, left seqno, right seqno)`` order, the same order key a
+  single engine delivers in, so the global output is independent of the
+  shard count;
+* **two drivers** — ``shard_mode="serial"`` runs the shards round-robin in
+  the calling thread (still an algorithmic win: each nested-loop probe
+  scans ~1/N of the resident window state), while ``shard_mode="process"``
+  gives every shard a worker process fed pickled arrival batches.
+
+Sharding is answer-preserving only for equi-key workloads over time-based
+windows.  Non-equi conditions have no partition key, and a count window's
+rank ("the N most recent arrivals") is defined over the *whole* stream, not
+a shard's subsequence — both therefore raise :class:`ShardingError` for
+``shards > 1`` (or fall back to one shard with ``on_unsupported="fallback"``).
+
+:class:`ShardPlanner` closes the sizing loop with the statistics plane of
+:mod:`repro.core.statistics`: the per-shard metrics snapshots are aggregated
+into one global :class:`~repro.core.statistics.StreamStatistics` view
+(counters summed, stream clock max'ed), from which the planner picks a shard
+count for the measured load, detects key skew from the per-shard ingest
+shares, and re-prices every shard's chain with its *own* measured statistics
+via per-shard ``rebalance(params, statistics=)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import zlib
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.core.merge_graph import ChainCostParameters
+from repro.core.statistics import StreamStatistics
+from repro.engine.errors import ExecutionError, QueryError, ShardingError
+from repro.engine.metrics import MetricsCollector, MetricsSnapshot
+from repro.query.predicates import EquiJoinCondition, JoinCondition, Predicate
+from repro.runtime.engine import EngineStats, RegisteredQuery, StreamEngine
+from repro.streams.tuples import JoinedTuple, StreamTuple
+
+__all__ = [
+    "ShardConfig",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedStreamEngine",
+    "shard_for_key",
+]
+
+def shard_for_key(key: object, shards: int) -> int:
+    """Stable shard index of a join-key value.
+
+    Uses CRC-32 over a canonical string form, so the mapping is a pure
+    function of ``(key, shards)`` — identical across interpreter runs,
+    worker processes and machines (unlike built-in ``hash``, which salts
+    strings per process).  Keys that compare equal must co-shard (the
+    partitioning invariant behind answer preservation), so numeric types
+    are canonicalized first: ``True == 1 == 1.0`` all shard as the integer
+    ``1``, matching ``EquiJoinCondition``'s ``==`` semantics across mixed
+    int/float/bool key sources.  CRC-32 mixes well enough that random key
+    domains spread evenly; determinism, the cross-type invariant and the
+    frequency bound are property-tested in ``tests/test_sharding.py``.
+    """
+    if shards <= 1:
+        return 0
+    if isinstance(key, bool):
+        key = int(key)
+    elif isinstance(key, float) and key.is_integer():
+        key = int(key)
+    data = key if isinstance(key, bytes) else str(key).encode("utf-8")
+    return zlib.crc32(data) % shards
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything needed to build one shard's engine (picklable, so the
+    process driver can ship it to a spawned worker)."""
+
+    condition: JoinCondition
+    left_stream: str = "A"
+    right_stream: str = "B"
+    batch_size: int = 32
+    window_kind: str = "time"
+    probe: str = "nested_loop"
+    system_overhead: float = 0.0
+    collect_statistics: bool = False
+
+    def build(self) -> StreamEngine:
+        return StreamEngine(
+            self.condition,
+            left_stream=self.left_stream,
+            right_stream=self.right_stream,
+            batch_size=self.batch_size,
+            metrics=MetricsCollector(system_overhead=self.system_overhead),
+            window_kind=self.window_kind,
+            probe=self.probe,
+            collect_statistics=self.collect_statistics,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-parallel worker
+# ---------------------------------------------------------------------------
+def _shard_worker(conn, config: ShardConfig) -> None:  # pragma: no cover - subprocess
+    """One worker process owning one shard's engine.
+
+    The parent speaks a small pickled protocol over ``conn``: ``("batch",
+    tuples)`` messages are fire-and-forget (the pipe provides backpressure),
+    every other command gets an ``("ok", payload)`` or ``("error", text)``
+    reply.  Batch-processing errors are deferred and reported on the next
+    replied command, so the parent never deadlocks waiting for an ack that
+    a failed batch will not send.  The discovering command is still
+    *executed* before the deferred error is reported — admissions fan out
+    to every shard, so skipping it here would leave this shard's query set
+    diverged from its siblings even though the parent raises either way.
+    """
+    engine = config.build()
+    deferred_error: str | None = None
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:
+            break
+        if command == "batch":
+            try:
+                engine.process_many(payload)
+            except Exception as exc:  # noqa: BLE001 - reported to the parent
+                deferred_error = f"{type(exc).__name__}: {exc}"
+            continue
+        if command == "close":
+            break
+        error = deferred_error
+        deferred_error = None
+        try:
+            if command == "add":
+                name, window, left_filter, right_filter = payload
+                engine.add_query(
+                    name, window, left_filter=left_filter, right_filter=right_filter
+                )
+                result = None
+            elif command == "remove":
+                result = engine.remove_query(payload)
+            elif command == "results":
+                result = engine.results(payload)
+            elif command == "pop":
+                result = engine.pop_results(payload)
+            elif command == "sync":
+                engine.flush()
+                result = None
+            elif command == "snapshot":
+                engine.flush()
+                result = engine.metrics.snapshot()
+            elif command == "state":
+                engine.flush()
+                result = {
+                    "stats": engine.stats,
+                    "state_size": engine.state_size(),
+                    "slice_count": engine.slice_count(),
+                    "boundaries": engine.boundaries,
+                    "disjoint": engine.states_are_disjoint(),
+                }
+            elif command == "rebalance":
+                params, statistics = payload
+                result = engine.rebalance(params, statistics=statistics)
+            else:
+                raise ExecutionError(f"unknown shard command {command!r}")
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            detail = f"{type(exc).__name__}: {exc}"
+            error = f"{error}; then {command}: {detail}" if error else detail
+            result = None
+        if error is not None:
+            conn.send(("error", error))
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# The sharded engine
+# ---------------------------------------------------------------------------
+class ShardedStreamEngine:
+    """N key-partitioned :class:`StreamEngine` shards behind one session API.
+
+    Parameters
+    ----------
+    condition:
+        The shared join condition.  ``shards > 1`` requires an
+        :class:`~repro.query.predicates.EquiJoinCondition` — the equi-key is
+        the partition key.
+    shards:
+        Number of inner engines.  ``1`` degenerates to a single unsharded
+        engine (any condition or window kind).
+    shard_mode:
+        ``"serial"`` (default) runs the shards in the calling thread —
+        already a throughput win, since each nested-loop probe scans ~1/N
+        of the window state; ``"process"`` starts one worker process per
+        shard and ships pickled arrival batches (conditions and predicates
+        must then be picklable; close the session with :meth:`close` or use
+        it as a context manager).
+    on_unsupported:
+        ``"raise"`` (default) raises :class:`ShardingError` for workloads
+        that cannot be partitioned (non-equi condition, count windows);
+        ``"fallback"`` silently runs them on one shard.
+    batch_size / window_kind / probe / system_overhead / collect_statistics:
+        Forwarded to every shard's engine, see :class:`StreamEngine`.
+    """
+
+    def __init__(
+        self,
+        condition: JoinCondition,
+        shards: int = 4,
+        shard_mode: str = "serial",
+        left_stream: str = "A",
+        right_stream: str = "B",
+        batch_size: int = 32,
+        window_kind: str = "time",
+        probe: str = "nested_loop",
+        system_overhead: float = 0.0,
+        collect_statistics: bool = False,
+        on_unsupported: str = "raise",
+    ) -> None:
+        if shards < 1:
+            raise ShardingError(f"shard count must be at least 1, got {shards}")
+        if shard_mode not in ("serial", "process"):
+            raise ShardingError(
+                f"shard_mode must be 'serial' or 'process', got {shard_mode!r}"
+            )
+        if on_unsupported not in ("raise", "fallback"):
+            raise ShardingError(
+                f"on_unsupported must be 'raise' or 'fallback', got {on_unsupported!r}"
+            )
+        if shards > 1:
+            problem = None
+            if not isinstance(condition, EquiJoinCondition):
+                problem = (
+                    f"condition {condition.describe()!r} has no equi-key to "
+                    f"partition on"
+                )
+            elif window_kind != "time":
+                problem = (
+                    "count windows rank tuples over the whole stream, not a "
+                    "shard's subsequence"
+                )
+            if problem is not None:
+                if on_unsupported == "raise":
+                    raise ShardingError(
+                        f"cannot run {shards} shards: {problem} (pass "
+                        f"on_unsupported='fallback' to run unsharded)"
+                    )
+                shards = 1
+        self.condition = condition
+        self.shards = shards
+        self.shard_mode = shard_mode
+        self.left_stream = left_stream
+        self.right_stream = right_stream
+        self.window_kind = window_kind
+        self.probe = probe
+        self.batch_size = max(1, int(batch_size))
+        self.config = ShardConfig(
+            condition=condition,
+            left_stream=left_stream,
+            right_stream=right_stream,
+            batch_size=self.batch_size,
+            window_kind=window_kind,
+            probe=probe,
+            system_overhead=system_overhead,
+            collect_statistics=collect_statistics,
+        )
+        if shards > 1:
+            assert isinstance(condition, EquiJoinCondition)
+            self._key_attrs = {
+                left_stream: condition.left_attribute,
+                right_stream: condition.right_attribute,
+            }
+        else:
+            self._key_attrs = None
+        self._queries: dict[str, RegisteredQuery] = {}
+        self._arrivals = 0
+        self._closed = False
+        self.shard_engines: list[StreamEngine] = []
+        self._workers: list = []
+        self._pipes: list = []
+        self._buffers: list[list[StreamTuple]] = []
+        if self.shard_mode == "serial":
+            self.shard_engines = [self.config.build() for _ in range(self.shards)]
+        else:
+            self._start_workers()
+
+    # -- process-mode plumbing -------------------------------------------------
+    def _start_workers(self) -> None:
+        import multiprocessing
+
+        for _ in range(self.shards):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            worker = multiprocessing.Process(
+                target=_shard_worker, args=(child_conn, self.config), daemon=True
+            )
+            worker.start()
+            child_conn.close()
+            self._workers.append(worker)
+            self._pipes.append(parent_conn)
+            self._buffers.append([])
+
+    def _request(self, index: int, command: str, payload=None):
+        pipe = self._pipes[index]
+        pipe.send((command, payload))
+        status, result = pipe.recv()
+        if status == "error":
+            raise ExecutionError(f"shard {index}: {result}")
+        return result
+
+    def _request_all(self, command: str, payload=None) -> list:
+        # Send first, receive second: the shards work concurrently while the
+        # parent waits, instead of serializing one round-trip per shard.
+        for pipe in self._pipes:
+            pipe.send((command, payload))
+        results = []
+        for index, pipe in enumerate(self._pipes):
+            status, result = pipe.recv()
+            if status == "error":
+                raise ExecutionError(f"shard {index}: {result}")
+            results.append(result)
+        return results
+
+    def _send_buffers(self) -> None:
+        for index, buffer in enumerate(self._buffers):
+            if buffer:
+                self._pipes[index].send(("batch", buffer))
+                self._buffers[index] = []
+
+    def close(self) -> None:
+        """Shut the worker processes down (no-op for serial sessions)."""
+        if self._closed or self.shard_mode != "process":
+            self._closed = True
+            return
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.send(("close", None))
+            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+        for pipe in self._pipes:
+            pipe.close()
+
+    def __enter__(self) -> "ShardedStreamEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("the sharded session has been closed")
+
+    # -- routing ---------------------------------------------------------------
+    def shard_of(self, tup: StreamTuple) -> int:
+        """The shard an arrival is routed to (pure in the tuple's key)."""
+        if self._key_attrs is None:
+            return 0
+        try:
+            attribute = self._key_attrs[tup.stream]
+        except KeyError:
+            raise QueryError(
+                f"sharded session joins streams {sorted(self._key_attrs)}, got a "
+                f"tuple of stream {tup.stream!r}"
+            ) from None
+        return shard_for_key(tup.values[attribute], self.shards)
+
+    # -- execution -------------------------------------------------------------
+    def process(self, tup: StreamTuple) -> None:
+        """Ingest one arriving tuple, routing it to its key's shard."""
+        self._check_open()
+        index = self.shard_of(tup)
+        self._arrivals += 1
+        if self.shard_mode == "serial":
+            self.shard_engines[index].process(tup)
+            return
+        buffer = self._buffers[index]
+        buffer.append(tup)
+        if len(buffer) >= self.batch_size:
+            self._pipes[index].send(("batch", buffer))
+            self._buffers[index] = []
+
+    def process_many(self, tuples: Iterable[StreamTuple]) -> None:
+        """Ingest a sequence of timestamp-ordered arrivals."""
+        for tup in tuples:
+            self.process(tup)
+
+    def flush(self) -> None:
+        """Process buffered arrivals on every shard (a cross-shard barrier)."""
+        self._check_open()
+        if self.shard_mode == "serial":
+            for engine in self.shard_engines:
+                engine.flush()
+            return
+        self._send_buffers()
+        self._request_all("sync")
+
+    # -- admission (fans out to every shard) -----------------------------------
+    def add_query(
+        self,
+        name: str,
+        window: float,
+        left_filter: Predicate | None = None,
+        right_filter: Predicate | None = None,
+    ) -> RegisteredQuery:
+        """Admit a query on every shard (one logical admission).
+
+        All shards run the same migration, so their chain boundaries and
+        pushed-down filters stay identical — the session behaves as one
+        engine whose state happens to be partitioned by key.
+        """
+        self._check_open()
+        if name in self._queries:
+            raise QueryError(f"query {name!r} is already registered")
+        if self.shard_mode == "serial":
+            registered = None
+            for engine in self.shard_engines:
+                registered = engine.add_query(
+                    name, window, left_filter=left_filter, right_filter=right_filter
+                )
+            assert registered is not None
+            query = replace(registered, registered_at=self._arrivals)
+        else:
+            self._send_buffers()
+            self._request_all("add", (name, window, left_filter, right_filter))
+            updates = {
+                key: value
+                for key, value in (
+                    ("left_filter", left_filter),
+                    ("right_filter", right_filter),
+                )
+                if value is not None
+            }
+            query = RegisteredQuery(name, window, self._arrivals, **updates)
+        self._queries[name] = query
+        return query
+
+    def remove_query(self, name: str) -> list[JoinedTuple]:
+        """Deregister a query on every shard; return its merged results."""
+        self._check_open()
+        if name not in self._queries:
+            raise QueryError(f"no registered query named {name!r}")
+        if self.shard_mode == "serial":
+            delivered = [engine.remove_query(name) for engine in self.shard_engines]
+        else:
+            self._send_buffers()
+            delivered = self._request_all("remove", name)
+        del self._queries[name]
+        return self._merge(delivered)
+
+    # -- results ---------------------------------------------------------------
+    @staticmethod
+    def _merge(per_shard: Sequence[list[JoinedTuple]]) -> list[JoinedTuple]:
+        """Deterministic global order: merge shard outputs by the same
+        ``(timestamp, seqno, seqno)`` key a single engine delivers in."""
+        return sorted(
+            itertools.chain.from_iterable(per_shard),
+            key=lambda j: (j.timestamp, j.left.seqno, j.right.seqno),
+        )
+
+    def results(self, name: str) -> list[JoinedTuple]:
+        """A query's merged results so far (buffered arrivals included)."""
+        self._check_open()
+        if name not in self._queries:
+            raise QueryError(f"no registered query named {name!r}")
+        if self.shard_mode == "serial":
+            per_shard = [engine.results(name) for engine in self.shard_engines]
+        else:
+            self._send_buffers()
+            per_shard = self._request_all("results", name)
+        return self._merge(per_shard)
+
+    def pop_results(self, name: str) -> list[JoinedTuple]:
+        """Return and clear a query's merged results."""
+        self._check_open()
+        if name not in self._queries:
+            raise QueryError(f"no registered query named {name!r}")
+        if self.shard_mode == "serial":
+            per_shard = [engine.pop_results(name) for engine in self.shard_engines]
+        else:
+            self._send_buffers()
+            per_shard = self._request_all("pop", name)
+        return self._merge(per_shard)
+
+    # -- statistics ------------------------------------------------------------
+    def shard_snapshots(self) -> list[MetricsSnapshot]:
+        """One metrics snapshot per shard (buffered arrivals flushed first)."""
+        self._check_open()
+        if self.shard_mode == "serial":
+            self.flush()
+            return [engine.metrics.snapshot() for engine in self.shard_engines]
+        self._send_buffers()
+        return self._request_all("snapshot")
+
+    def merged_snapshot(
+        self, snapshots: Sequence[MetricsSnapshot] | None = None
+    ) -> MetricsSnapshot:
+        """The per-shard snapshots folded into one global counter view.
+
+        Pass ``snapshots`` (a prior :meth:`shard_snapshots` value) to reuse
+        one fetch across several derived views — in process mode every
+        fresh fetch is a flush plus one round-trip per worker."""
+        if snapshots is None:
+            snapshots = self.shard_snapshots()
+        return MetricsSnapshot.aggregate(snapshots)
+
+    def shard_statistics(
+        self, snapshots: Sequence[MetricsSnapshot] | None = None
+    ) -> list[StreamStatistics]:
+        """Whole-session statistics estimates, one per shard (measured
+        per-shard rates — unequal under key skew)."""
+        if snapshots is None:
+            snapshots = self.shard_snapshots()
+        empty = MetricsCollector().snapshot()
+        return [
+            StreamStatistics.from_metrics_delta(
+                snapshot.diff(empty),
+                left_stream=self.left_stream,
+                right_stream=self.right_stream,
+            )
+            for snapshot in snapshots
+        ]
+
+    def merged_statistics(
+        self, snapshots: Sequence[MetricsSnapshot] | None = None
+    ) -> StreamStatistics:
+        """The global statistics view: per-shard observations aggregated
+        before estimation (the input of a :class:`ShardPlanner`).
+
+        Note the join factor of this view is the *within-shard* match rate —
+        conditioned on key co-location, so ≈ N× the unpartitioned S1 under
+        uniform keys.  That is deliberately the right quantity here: it is
+        what a shard's probes actually hit, hence what prices a shard's
+        chain; the arrival rates remain global (summed across shards)."""
+        if snapshots is None:
+            snapshots = self.shard_snapshots()
+        empty = MetricsCollector().snapshot()
+        return StreamStatistics.from_shard_windows(
+            [(empty, snapshot) for snapshot in snapshots],
+            left_stream=self.left_stream,
+            right_stream=self.right_stream,
+        )
+
+    # -- re-optimization -------------------------------------------------------
+    def rebalance(
+        self,
+        params: ChainCostParameters,
+        statistics: StreamStatistics | None = None,
+    ) -> tuple[float, ...]:
+        """Migrate every shard's chain to the CPU-Opt boundaries.
+
+        ``params`` and ``statistics`` describe the *global* session; each
+        shard of an evenly partitioned stream sees ``1/N`` of the arrival
+        rates, so both are scaled down before the per-shard search runs
+        (selectivities are rate-invariant).  For skew-aware re-pricing from
+        each shard's own measurements use :meth:`ShardPlanner.rebalance`.
+        """
+        self._check_open()
+        scale = 1.0 / self.shards
+        shard_params = replace(
+            params,
+            arrival_rate_left=params.arrival_rate_left * scale,
+            arrival_rate_right=params.arrival_rate_right * scale,
+        )
+        shard_stats = statistics.scaled(scale) if statistics is not None else None
+        return self.rebalance_shards([(shard_params, shard_stats)] * self.shards)
+
+    def rebalance_shards(
+        self,
+        plans: Sequence[tuple[ChainCostParameters, StreamStatistics | None]],
+    ) -> tuple[float, ...]:
+        """Rebalance each shard with its own parameters/statistics.
+
+        All shards must keep identical boundaries (the admission fan-out
+        invariant), so the first shard's target is applied everywhere; the
+        per-shard inputs only matter for *pricing* under skew, where the
+        planner deliberately feeds every shard the same skew-aware view.
+        """
+        self._check_open()
+        if len(plans) != self.shards:
+            raise ShardingError(
+                f"need one plan per shard ({self.shards}), got {len(plans)}"
+            )
+        boundaries: tuple[float, ...] | None = None
+        if self.shard_mode == "serial":
+            for engine, (params, statistics) in zip(self.shard_engines, plans):
+                result = tuple(engine.rebalance(params, statistics=statistics))
+                boundaries = result if boundaries is None else boundaries
+        else:
+            self._send_buffers()
+            for index, (params, statistics) in enumerate(plans):
+                self._pipes[index].send(("rebalance", (params, statistics)))
+            for index in range(self.shards):
+                status, result = self._pipes[index].recv()
+                if status == "error":
+                    raise ExecutionError(f"shard {index}: {result}")
+                if boundaries is None:
+                    boundaries = tuple(result)
+        assert boundaries is not None
+        return boundaries
+
+    # -- introspection ---------------------------------------------------------
+    def _shard_states(self) -> list[dict]:
+        """Process-mode introspection: flush buffers, one round-trip each."""
+        self._check_open()
+        self._send_buffers()
+        return self._request_all("state")
+
+    @property
+    def stats(self) -> EngineStats:
+        """Aggregated session counters (migrations from the first shard —
+        the fan-out keeps every shard's migration sequence identical)."""
+        if self.shard_mode == "serial":
+            self._check_open()
+            return EngineStats.aggregate(engine.stats for engine in self.shard_engines)
+        return EngineStats.aggregate(state["stats"] for state in self._shard_states())
+
+    @property
+    def boundaries(self) -> tuple[float, ...]:
+        if self.shard_mode == "serial":
+            self._check_open()
+            return self.shard_engines[0].boundaries
+        return self.shard_boundaries()[0]
+
+    def shard_boundaries(self) -> list[tuple[float, ...]]:
+        if self.shard_mode == "serial":
+            self._check_open()
+            return [engine.boundaries for engine in self.shard_engines]
+        return [tuple(state["boundaries"]) for state in self._shard_states()]
+
+    def queries(self) -> list[RegisteredQuery]:
+        return sorted(self._queries.values(), key=lambda q: (q.window, q.name))
+
+    def query(self, name: str) -> RegisteredQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise QueryError(f"no registered query named {name!r}") from None
+
+    def slice_count(self) -> int:
+        if self.shard_mode == "serial":
+            self._check_open()
+            return self.shard_engines[0].slice_count()
+        return int(self._shard_states()[0]["slice_count"])
+
+    def state_size(self) -> int:
+        """Total tuples resident across all shards' join states."""
+        if self.shard_mode == "serial":
+            self._check_open()
+            return sum(engine.state_size() for engine in self.shard_engines)
+        return sum(state["state_size"] for state in self._shard_states())
+
+    def states_are_disjoint(self) -> bool:
+        """Within-shard slice disjointness; cross-shard disjointness holds by
+        construction (each tuple is routed to exactly one shard)."""
+        if self.shard_mode == "serial":
+            self._check_open()
+            return all(engine.states_are_disjoint() for engine in self.shard_engines)
+        return all(state["disjoint"] for state in self._shard_states())
+
+    def shard_ingest_totals(
+        self, snapshots: Sequence[MetricsSnapshot] | None = None
+    ) -> list[int]:
+        """Arrivals routed to each shard (the raw material of skew detection)."""
+        if snapshots is None:
+            snapshots = self.shard_snapshots()
+        return [int(snapshot.get("ingested.total", 0.0)) for snapshot in snapshots]
+
+    def describe(self) -> str:
+        inner = (
+            self.shard_engines[0].describe()
+            if self.shard_mode == "serial"
+            else f"{len(self._queries)} queries"
+        )
+        return (
+            f"ShardedStreamEngine[{self.shards}x {self.shard_mode}, "
+            f"key={self.condition.describe()}] each: {inner}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<ShardedStreamEngine shards={self.shards} mode={self.shard_mode} "
+            f"queries={len(self._queries)} arrivals={self._arrivals}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """One sizing decision of the :class:`ShardPlanner` (for observability)."""
+
+    shards: int  #: Recommended shard count for the measured load.
+    total_rate: float  #: Measured arrivals/second across both streams.
+    imbalance: float  #: max/mean per-shard ingest share (1.0 = perfectly even).
+    skewed: bool  #: True when the imbalance exceeds the planner's threshold.
+    reason: str
+
+    def describe(self) -> str:
+        skew = f"skewed {self.imbalance:.2f}x" if self.skewed else (
+            f"balanced ({self.imbalance:.2f}x)"
+        )
+        return f"ShardPlan[{self.shards} shards for {self.total_rate:.3g}/s, {skew}]"
+
+
+class ShardPlanner:
+    """Statistics-driven sizing and re-pricing of a sharded session.
+
+    Parameters
+    ----------
+    max_shards:
+        Upper bound of :meth:`recommend` (hardware parallelism, or how many
+        serial shards still pay for their routing overhead).
+    target_rate_per_shard:
+        Arrivals/second one shard should absorb; the recommendation is
+        ``ceil(total measured rate / target)`` clamped to ``[1, max_shards]``.
+        Calibrate from ``benchmarks/test_sharded_scaleout.py`` on the host.
+    skew_threshold:
+        max/mean per-shard ingest share above which the key distribution
+        counts as skewed (hot keys concentrating on few shards).
+    """
+
+    def __init__(
+        self,
+        max_shards: int = 8,
+        target_rate_per_shard: float = 200.0,
+        skew_threshold: float = 2.0,
+    ) -> None:
+        if max_shards < 1:
+            raise ShardingError(f"max_shards must be at least 1, got {max_shards}")
+        if target_rate_per_shard <= 0:
+            raise ShardingError(
+                f"target_rate_per_shard must be positive, got {target_rate_per_shard}"
+            )
+        if skew_threshold < 1.0:
+            raise ShardingError(
+                f"skew_threshold must be at least 1.0, got {skew_threshold}"
+            )
+        self.max_shards = int(max_shards)
+        self.target_rate_per_shard = float(target_rate_per_shard)
+        self.skew_threshold = float(skew_threshold)
+
+    def recommend(self, statistics: StreamStatistics) -> int:
+        """Shard count for a measured (or declared) global load."""
+        total = sum(statistics.arrival_rates.values())
+        if total <= 0:
+            return 1
+        return max(1, min(self.max_shards, math.ceil(total / self.target_rate_per_shard)))
+
+    def imbalance(self, ingest_totals: Sequence[int]) -> float:
+        """max/mean per-shard ingest share; 1.0 is perfectly balanced."""
+        if not ingest_totals:
+            return 1.0
+        mean = sum(ingest_totals) / len(ingest_totals)
+        if mean <= 0:
+            return 1.0
+        return max(ingest_totals) / mean
+
+    def plan(self, engine: ShardedStreamEngine) -> ShardPlan:
+        """Size and skew-check a live sharded session from its merged view."""
+        snapshots = engine.shard_snapshots()  # one fetch feeds every view
+        statistics = engine.merged_statistics(snapshots)
+        shards = self.recommend(statistics)
+        imbalance = self.imbalance(engine.shard_ingest_totals(snapshots))
+        skewed = imbalance > self.skew_threshold
+        total = sum(statistics.arrival_rates.values())
+        if skewed:
+            reason = (
+                f"hot keys: the busiest shard carries {imbalance:.2f}x the mean "
+                f"ingest share (threshold {self.skew_threshold:g}x)"
+            )
+        elif shards != engine.shards:
+            reason = (
+                f"measured {total:.3g} arrivals/s over {engine.shards} shard(s); "
+                f"{shards} shard(s) hit the {self.target_rate_per_shard:g}/s target"
+            )
+        else:
+            reason = f"{engine.shards} shard(s) match the measured load"
+        return ShardPlan(
+            shards=shards,
+            total_rate=total,
+            imbalance=imbalance,
+            skewed=skewed,
+            reason=reason,
+        )
+
+    def rebalance(
+        self,
+        engine: ShardedStreamEngine,
+        system_overhead: float = 0.5,
+        tuple_size: float = 1.0,
+    ) -> tuple[float, ...]:
+        """Re-price every shard's chain from its own measured statistics.
+
+        Under key skew the shards see different arrival rates; each shard is
+        therefore rebalanced with its *own* whole-session estimate, falling
+        back to the merged global view (scaled to one shard's share) for
+        quantities a thin shard could not measure.  Requires the session to
+        run with ``collect_statistics=True``.
+        """
+        snapshots = engine.shard_snapshots()
+        merged = engine.merged_statistics(snapshots)
+        fallback = merged.scaled(1.0 / engine.shards)
+        plans: list[tuple[ChainCostParameters, StreamStatistics]] = []
+        for stats in engine.shard_statistics(snapshots):
+            if stats.join_selectivity is None:
+                stats = replace(stats, join_selectivity=merged.join_selectivity)
+            rates = dict(fallback.arrival_rates)
+            rates.update(stats.arrival_rates)
+            stats = replace(stats, arrival_rates=rates)
+            params = stats.chain_parameters(
+                system_overhead=system_overhead,
+                tuple_size=tuple_size,
+                default_rate=max(sum(rates.values()), 1e-9),
+            )
+            plans.append((params, stats))
+        return engine.rebalance_shards(plans)

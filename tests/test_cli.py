@@ -198,6 +198,42 @@ class TestRuntimeCommand:
         assert "count windows" in out
         assert "engine stats:" in out
 
+    def test_runtime_sharded_with_stats(self, capsys):
+        out = run_cli(
+            capsys,
+            "runtime",
+            "--duration",
+            "8",
+            "--rate",
+            "20",
+            "--shards",
+            "3",
+            "--stats",
+        )
+        assert "3 serial shard(s)" in out
+        assert "ShardedStreamEngine[3x serial" in out
+        assert "aggregated across shards" in out
+        assert "per-shard arrivals:" in out
+        assert "ShardPlan[" in out
+
+    def test_runtime_sharded_rejects_count_windows(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "runtime",
+                    "--shards",
+                    "2",
+                    "--window-kind",
+                    "count",
+                    "--duration",
+                    "4",
+                ]
+            )
+
+    def test_runtime_sharded_rejects_adaptive(self):
+        with pytest.raises(SystemExit):
+            main(["runtime", "--shards", "2", "--adaptive", "--duration", "4"])
+
 
 class TestCompareProbe:
     def test_compare_hash_probe(self, capsys):

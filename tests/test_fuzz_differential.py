@@ -27,7 +27,21 @@ for real (scenarios whose weakest predicate is non-trivial shed state;
 see ``test_pushed_filters_do_drop_state``).
 
 The suite runs 220 scenarios (140 time-window, 80 count-window), seeded and
-deterministic.
+deterministic, plus 60 sharded scenarios (see below).
+
+Sharded family
+--------------
+The key-partitioned :class:`~repro.runtime.ShardedStreamEngine` is fuzzed
+*against the single engine* (not the brute-force baseline): an equi-join
+scenario is run through one unsharded session and one 2-4-shard session —
+each with an independently drawn batch size and probe algorithm — and every
+query's delivered pairs must agree.  The umbrella discipline applies here
+too, for a subtler reason: what a mid-stream admission sees of the past is
+whatever the chain *happens to retain*, and retention is purge-driven —
+lazy, and lazier still per shard (a shard only purges when one of its own
+keys arrives).  Under the umbrella, retained history is complete on both
+sides, so both engines equal the brute-force answer and hence each other;
+without it they would differ exactly by purge-timing artifacts.
 """
 
 from __future__ import annotations
@@ -43,11 +57,12 @@ from repro.query.predicates import (
     Predicate,
     selectivity_join,
 )
-from repro.runtime import StreamEngine
+from repro.runtime import ShardedStreamEngine, StreamEngine
 from repro.streams.tuples import StreamTuple, make_tuple
 
 TIME_SCENARIOS = 140
 COUNT_SCENARIOS = 80
+SHARDED_SCENARIOS = 60
 
 TIME_WINDOWS = (1.0, 1.5, 2.0, 3.0, 4.0)
 COUNT_WINDOWS = (2, 3, 5, 8, 12)
@@ -261,6 +276,92 @@ def run_scenario(seed: int, window_kind: str) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Sharded scenarios: sharded engine ≡ single engine
+# ---------------------------------------------------------------------------
+def run_sharded_scenario(seed: int) -> None:
+    rng = random.Random(seed)
+    domain = rng.choice((3, 5, 8, 16))
+    condition = EquiJoinCondition("join_key", "join_key", key_domain=domain)
+    tuples = make_stream(rng, domain)
+
+    query_count = rng.randint(2, 4)
+    satellite_windows = [rng.choice(TIME_WINDOWS) for _ in range(query_count)]
+    left_filters = [draw_filter(rng) for _ in range(query_count)]
+    right_filters = [draw_filter(rng) for _ in range(query_count)]
+    schedule = draw_schedule(rng, query_count)
+    umbrella_window = max(max(satellite_windows), TIME_WINDOWS[-1])
+    umbrella_left = weakest(left_filters)
+    umbrella_right = weakest(right_filters)
+
+    shards = rng.choice((2, 3, 4))
+    engines = {
+        "single": StreamEngine(
+            condition,
+            batch_size=rng.choice(BATCH_SIZES),
+            probe=rng.choice(("nested_loop", "hash", "auto")),
+        ),
+        "sharded": ShardedStreamEngine(
+            condition,
+            shards=shards,
+            batch_size=rng.choice(BATCH_SIZES),
+            probe=rng.choice(("nested_loop", "hash", "auto")),
+        ),
+    }
+    admissions: dict[int, list[int]] = {}
+    removals: dict[int, list[int]] = {}
+    for qi, (admit, remove) in enumerate(schedule):
+        admissions.setdefault(admit, []).append(qi)
+        if remove < FOREVER:
+            removals.setdefault(remove, []).append(qi)
+
+    delivered: dict[str, dict[str, list]] = {name: {} for name in engines}
+    for engine in engines.values():
+        engine.add_query(
+            "umbrella",
+            umbrella_window,
+            left_filter=umbrella_left,
+            right_filter=umbrella_right,
+        )
+    for index, tup in enumerate(tuples):
+        for qi in removals.get(index, ()):
+            for name, engine in engines.items():
+                delivered[name][f"Q{qi}"] = engine.remove_query(f"Q{qi}")
+        for qi in admissions.get(index, ()):
+            for engine in engines.values():
+                engine.add_query(
+                    f"Q{qi}",
+                    satellite_windows[qi],
+                    left_filter=left_filters[qi],
+                    right_filter=right_filters[qi],
+                )
+        for engine in engines.values():
+            engine.process(tup)
+    for name, engine in engines.items():
+        engine.flush()
+        delivered[name]["umbrella"] = engine.results("umbrella")
+        for qi, (admit, remove) in enumerate(schedule):
+            if remove >= FOREVER:
+                delivered[name][f"Q{qi}"] = engine.results(f"Q{qi}")
+
+    sharded = engines["sharded"]
+    assert sharded.states_are_disjoint(), f"seed {seed}: overlapping shard slices"
+    assert sharded.shard_boundaries() == (
+        [sharded.boundaries] * shards
+    ), f"seed {seed}: shards diverged"
+    label = f"seed {seed} [sharded x{shards}] domain={domain}"
+    for query_name, single_results in delivered["single"].items():
+        expected = [(j.left.seqno, j.right.seqno) for j in single_results]
+        got = [(j.left.seqno, j.right.seqno) for j in delivered["sharded"][query_name]]
+        assert len(got) == len(set(got)), f"{label}: {query_name} duplicates"
+        assert sorted(got) == sorted(expected), (
+            f"{label}: {query_name} delivered {len(got)} pairs vs "
+            f"{len(expected)} unsharded; "
+            f"missing={sorted(set(expected) - set(got))[:5]} "
+            f"extra={sorted(set(got) - set(expected))[:5]}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # The suites: >= 200 seeded scenarios in total
 # ---------------------------------------------------------------------------
 @pytest.mark.parametrize("chunk", range(14))
@@ -275,11 +376,18 @@ def test_fuzz_count_window_sessions(chunk):
         run_scenario(seed, "count")
 
 
+@pytest.mark.parametrize("chunk", range(6))
+def test_fuzz_sharded_sessions(chunk):
+    for seed in range(2000 + chunk * 10, 2000 + chunk * 10 + 10):
+        run_sharded_scenario(seed)
+
+
 def test_scenario_space_is_large_enough():
     """The fuzz must cover >= 200 scenarios (acceptance gate of PR 2)."""
     assert TIME_SCENARIOS + COUNT_SCENARIOS >= 200
     assert TIME_SCENARIOS == 14 * 10
     assert COUNT_SCENARIOS == 8 * 10
+    assert SHARDED_SCENARIOS == 6 * 10
 
 
 def test_pushed_filters_do_drop_state():

@@ -1,0 +1,391 @@
+"""Tests for the key-partitioned sharded runtime.
+
+Four properties carry the sharded engine's correctness story:
+
+1. **Partitioner** — :func:`shard_for_key` is a pure, stable function of
+   ``(key, shards)`` (identical across runs and processes) and spreads
+   random key domains evenly (frequency bound, hypothesis-checked).
+2. **Equivalence** — a sharded session delivers exactly the single-engine
+   answer under admissions, removals, selections and rebalances (the
+   per-scenario differential family lives in ``test_fuzz_differential.py``;
+   scripted cases here keep the failure surface small).
+3. **Fan-out invariants** — every shard keeps identical chain boundaries
+   and the merged output is in deterministic global order.
+4. **Planner** — the merged statistics view sizes N with the measured
+   load, and hot keys are reported as skew.
+
+The optional process-parallel driver is smoke-tested for correctness
+against the serial driver (same protocol, same merged answers).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge_graph import ChainCostParameters
+from repro.core.statistics import StreamStatistics
+from repro.engine.errors import ShardingError
+from repro.engine.metrics import MetricsCollector, MetricsSnapshot
+from repro.query.predicates import (
+    CrossProductCondition,
+    EquiJoinCondition,
+    attribute_gt,
+)
+from repro.runtime import (
+    ShardedStreamEngine,
+    ShardPlanner,
+    StreamEngine,
+    shard_for_key,
+)
+from repro.streams.generators import generate_join_workload
+from repro.streams.tuples import make_tuple
+
+CONDITION = EquiJoinCondition("join_key", "join_key", key_domain=24)
+DATA = generate_join_workload(rate_a=30, rate_b=30, duration=6.0, seed=21)
+
+
+def pairs(results):
+    return sorted((j.left.seqno, j.right.seqno) for j in results)
+
+
+# ---------------------------------------------------------------------------
+# 1. The partitioner
+# ---------------------------------------------------------------------------
+def test_partitioner_is_deterministic_and_in_range():
+    for key in (0, 7, -3, 10**12, "sensor-17", 3.25, b"raw"):
+        for shards in (1, 2, 3, 8):
+            first = shard_for_key(key, shards)
+            assert 0 <= first < shards
+            assert all(shard_for_key(key, shards) == first for _ in range(3))
+
+
+def test_partitioner_single_shard_short_circuits():
+    assert shard_for_key("anything", 1) == 0
+    assert shard_for_key(42, 0) == 0  # degenerate counts clamp to shard 0
+
+
+def test_partitioner_cross_type_equal_keys_co_shard():
+    """Keys that compare equal must land on the same shard.
+
+    EquiJoinCondition matches `1 == 1.0 == True`, so mixed int/float/bool
+    key sources must co-shard or the sharded engine would silently drop
+    pairs the single engine emits."""
+    for shards in (2, 3, 4, 8):
+        for key in (0, 1, 7, 10**9):
+            expected = shard_for_key(key, shards)
+            assert shard_for_key(float(key), shards) == expected
+        assert shard_for_key(True, shards) == shard_for_key(1, shards)
+        assert shard_for_key(False, shards) == shard_for_key(0, shards)
+    # non-integral floats keep their own identity
+    assert shard_for_key(1.5, 4) == shard_for_key(1.5, 4)
+
+
+def test_sharded_joins_mixed_int_float_keys():
+    single = StreamEngine(CONDITION, batch_size=4)
+    sharded = ShardedStreamEngine(CONDITION, shards=4, batch_size=4)
+    arrivals = [
+        make_tuple("A", 0.1, join_key=1, value=0.5),
+        make_tuple("B", 0.2, join_key=1.0, value=0.5),
+        make_tuple("A", 0.3, join_key=2.0, value=0.5),
+        make_tuple("B", 0.4, join_key=2, value=0.5),
+    ]
+    for engine in (single, sharded):
+        engine.add_query("Q", 5.0)
+        engine.process_many(arrivals)
+        engine.flush()
+    assert pairs(sharded.results("Q")) == pairs(single.results("Q"))
+    assert len(sharded.results("Q")) == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shards=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+    consecutive=st.booleans(),
+)
+def test_partitioner_balance_bound(shards, seed, consecutive):
+    """Frequency bound over random key domains.
+
+    With ≥64 distinct keys per shard, no shard's share may exceed 1.6× the
+    mean (CRC-32 measures ≤1.25× empirically; the slack keeps the property
+    robust without weakening it into vacuity).
+    """
+    import random
+
+    rng = random.Random(seed)
+    count = 64 * shards + rng.randrange(0, 512)
+    if consecutive:
+        base = rng.randrange(10**6)
+        keys = range(base, base + count)
+    else:
+        keys = [rng.randrange(10**7) for _ in range(count)]
+    counts = [0] * shards
+    for key in keys:
+        counts[shard_for_key(key, shards)] += 1
+    mean = count / shards
+    assert max(counts) <= 1.6 * mean, counts
+
+
+# ---------------------------------------------------------------------------
+# 2./3. Sharded vs single engine, fan-out invariants
+# ---------------------------------------------------------------------------
+def _run_session(engine, admit_at=150, remove_at=300):
+    """One scripted session: umbrella + mid-stream σ-query add/remove."""
+    engine.add_query("umbrella", 4.0)
+    removed = None
+    for index, tup in enumerate(DATA.tuples):
+        if index == admit_at:
+            engine.add_query(
+                "Q2", 2.0, left_filter=attribute_gt("value", 0.4, selectivity=0.6)
+            )
+        if index == remove_at:
+            removed = engine.remove_query("Q2")
+        engine.process(tup)
+    engine.flush()
+    return removed
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_equals_single_engine(shards):
+    single = StreamEngine(CONDITION, batch_size=16)
+    sharded = ShardedStreamEngine(CONDITION, shards=shards, batch_size=16)
+    removed_single = _run_session(single)
+    removed_sharded = _run_session(sharded)
+    assert pairs(removed_sharded) == pairs(removed_single)
+    assert pairs(sharded.results("umbrella")) == pairs(single.results("umbrella"))
+    assert sharded.stats.arrivals == single.stats.arrivals
+    assert sharded.states_are_disjoint()
+
+
+def test_merged_output_order_is_deterministic():
+    sharded = ShardedStreamEngine(CONDITION, shards=3, batch_size=7)
+    _run_session(sharded)
+    merged = sharded.results("umbrella")
+    key = lambda j: (j.timestamp, j.left.seqno, j.right.seqno)  # noqa: E731
+    assert merged == sorted(merged, key=key)
+    # pop_results drains every shard
+    assert pairs(sharded.pop_results("umbrella")) == pairs(merged)
+    assert sharded.results("umbrella") == []
+
+
+def test_fanout_keeps_shard_boundaries_identical():
+    sharded = ShardedStreamEngine(CONDITION, shards=4, batch_size=16)
+    sharded.add_query("big", 4.0)
+    sharded.add_query("small", 1.5)
+    assert sharded.shard_boundaries() == [(0.0, 1.5, 4.0)] * 4
+    sharded.process_many(DATA.tuples[:200])
+    sharded.remove_query("small")
+    assert sharded.shard_boundaries() == [(0.0, 4.0)] * 4
+    assert sharded.boundaries == (0.0, 4.0)
+    assert sharded.slice_count() == 1
+
+
+def test_rebalance_fans_out_with_scaled_rates():
+    sharded = ShardedStreamEngine(CONDITION, shards=4, batch_size=16)
+    sharded.add_query("big", 4.0)
+    sharded.add_query(
+        "small", 1.0, left_filter=attribute_gt("value", 0.8, selectivity=0.2)
+    )
+    sharded.process_many(DATA.tuples[:300])
+    params = ChainCostParameters(
+        arrival_rate_left=30.0, arrival_rate_right=30.0, system_overhead=0.5
+    )
+    boundaries = sharded.rebalance(params)
+    assert sharded.shard_boundaries() == [boundaries] * 4
+    # still answer-identical to a single engine after the migration
+    single = StreamEngine(CONDITION, batch_size=16)
+    single.add_query("big", 4.0)
+    single.add_query(
+        "small", 1.0, left_filter=attribute_gt("value", 0.8, selectivity=0.2)
+    )
+    single.process_many(DATA.tuples[:300])
+    single.rebalance(params)
+    sharded.process_many(DATA.tuples[300:])
+    single.process_many(DATA.tuples[300:])
+    for name in ("big", "small"):
+        assert pairs(sharded.results(name)) == pairs(single.results(name))
+
+
+def test_unsupported_workloads_raise_or_fall_back():
+    cross = CrossProductCondition()
+    with pytest.raises(ShardingError):
+        ShardedStreamEngine(cross, shards=2)
+    with pytest.raises(ShardingError):
+        ShardedStreamEngine(CONDITION, shards=2, window_kind="count")
+    fallback = ShardedStreamEngine(cross, shards=4, on_unsupported="fallback")
+    assert fallback.shards == 1
+    fallback.add_query("Q", 2.0)
+    fallback.process_many(DATA.tuples[:50])
+    single = StreamEngine(cross, batch_size=32)
+    single.add_query("Q", 2.0)
+    single.process_many(DATA.tuples[:50])
+    assert pairs(fallback.results("Q")) == pairs(single.results("Q"))
+
+
+def test_admission_surface_validation():
+    sharded = ShardedStreamEngine(CONDITION, shards=2)
+    sharded.add_query("Q", 2.0)
+    from repro.engine.errors import QueryError
+
+    with pytest.raises(QueryError):
+        sharded.add_query("Q", 3.0)
+    with pytest.raises(QueryError):
+        sharded.remove_query("missing")
+    with pytest.raises(QueryError):
+        sharded.results("missing")
+    with pytest.raises(QueryError):
+        sharded.process(make_tuple("C", 1.0, join_key=1))
+
+
+# ---------------------------------------------------------------------------
+# 4. Statistics aggregation and the planner
+# ---------------------------------------------------------------------------
+def test_snapshot_aggregation_sums_counters():
+    left = MetricsCollector()
+    right = MetricsCollector()
+    left.count("probe", 10)
+    right.count("probe", 5)
+    left.record_ingest(4, "A")
+    right.record_ingest(6, "A")
+    left.record_emission("Q", 3)
+    left.sample_memory(2.0, 7)
+    right.sample_memory(3.0, 5)
+    merged = MetricsSnapshot.aggregate([left.snapshot(), right.snapshot()])
+    assert merged["comparisons.probe"] == 15.0
+    assert merged["ingested.A"] == 10.0
+    assert merged["emitted.total"] == 3.0
+    assert merged["memory.max"] == 12.0  # disjoint states: occupancies add
+    assert merged["time.last"] == 3.0  # shared stream clock: max, not sum
+    assert merged["service_rate"] == pytest.approx(3.0 / merged["cpu_cost"])
+
+
+def test_merged_statistics_global_rates():
+    sharded = ShardedStreamEngine(
+        CONDITION, shards=4, batch_size=16, collect_statistics=True
+    )
+    sharded.add_query("Q", 3.0)
+    sharded.process_many(DATA.tuples)
+    sharded.flush()
+    merged = sharded.merged_statistics()
+    # Global rates survive the partitioning: ~30/s per stream.
+    assert merged.rate("A") == pytest.approx(30.0, rel=0.25)
+    assert merged.rate("B") == pytest.approx(30.0, rel=0.25)
+    per_shard = sharded.shard_statistics()
+    assert len(per_shard) == 4
+    assert sum(s.rate("A", 0.0) for s in per_shard) == pytest.approx(
+        merged.rate("A"), rel=0.05
+    )
+
+
+def test_shard_windows_aggregate_matches_engine_view():
+    empty = MetricsCollector().snapshot()
+    sharded = ShardedStreamEngine(
+        CONDITION, shards=2, batch_size=16, collect_statistics=True
+    )
+    sharded.add_query("Q", 3.0)
+    sharded.process_many(DATA.tuples[:200])
+    stats = StreamStatistics.from_shard_windows(
+        [(empty, snapshot) for snapshot in sharded.shard_snapshots()]
+    )
+    merged = sharded.merged_statistics()
+    assert stats.arrival_rates == merged.arrival_rates
+    assert stats.join_selectivity == merged.join_selectivity
+
+
+def test_planner_recommend_and_skew():
+    planner = ShardPlanner(max_shards=8, target_rate_per_shard=25.0)
+    stats = StreamStatistics(arrival_rates={"A": 60.0, "B": 60.0})
+    assert planner.recommend(stats) == 5
+    assert planner.recommend(StreamStatistics()) == 1
+    assert planner.recommend(StreamStatistics(arrival_rates={"A": 1000.0})) == 8
+
+    assert planner.imbalance([100, 100, 100, 100]) == 1.0
+    assert planner.imbalance([400, 0, 0, 0]) == 4.0
+    assert planner.imbalance([]) == 1.0
+
+
+def test_planner_plan_flags_hot_keys():
+    planner = ShardPlanner(target_rate_per_shard=15.0, skew_threshold=1.8)
+    sharded = ShardedStreamEngine(
+        CONDITION, shards=4, batch_size=16, collect_statistics=True
+    )
+    sharded.add_query("Q", 2.0)
+    # every arrival carries the same key -> one hot shard
+    hot = [
+        make_tuple(tup.stream, tup.timestamp, join_key=7, value=0.5)
+        for tup in DATA.tuples[:240]
+    ]
+    sharded.process_many(hot)
+    plan = planner.plan(sharded)
+    assert plan.skewed
+    assert plan.imbalance == pytest.approx(4.0)
+    assert "hot keys" in plan.reason
+    assert plan.shards >= 1
+    assert "skewed" in plan.describe()
+
+
+def test_planner_rebalance_reprices_each_shard():
+    planner = ShardPlanner()
+    sharded = ShardedStreamEngine(
+        CONDITION, shards=2, batch_size=16, collect_statistics=True
+    )
+    sharded.add_query("big", 4.0)
+    sharded.add_query(
+        "small", 1.0, left_filter=attribute_gt("value", 0.8, selectivity=0.2)
+    )
+    sharded.process_many(DATA.tuples)
+    boundaries = planner.rebalance(sharded, system_overhead=0.5)
+    assert boundaries[0] == 0.0
+    assert sharded.shard_boundaries() == [boundaries] * 2
+
+
+# ---------------------------------------------------------------------------
+# Process-parallel driver (correctness smoke)
+# ---------------------------------------------------------------------------
+def test_process_mode_matches_serial():
+    serial = ShardedStreamEngine(CONDITION, shards=2, batch_size=16)
+    removed_serial = _run_session(serial)
+    with ShardedStreamEngine(
+        CONDITION, shards=2, shard_mode="process", batch_size=16
+    ) as process:
+        removed_process = _run_session(process)
+        assert pairs(removed_process) == pairs(removed_serial)
+        assert pairs(process.results("umbrella")) == pairs(
+            serial.results("umbrella")
+        )
+        assert process.stats.arrivals == serial.stats.arrivals
+        assert process.state_size() == serial.state_size()
+        assert process.shard_boundaries() == serial.shard_boundaries()
+        snapshot = process.merged_snapshot()
+        assert snapshot["ingested.total"] == len(DATA.tuples)
+
+
+def test_process_mode_rejects_use_after_close():
+    from repro.engine.errors import ExecutionError
+
+    engine = ShardedStreamEngine(CONDITION, shards=2, shard_mode="process")
+    engine.add_query("Q", 1.0)
+    engine.close()
+    engine.close()  # idempotent
+    with pytest.raises(ExecutionError):
+        engine.process(DATA.tuples[0])
+    # introspection raises the API's error, not a raw pipe OSError
+    with pytest.raises(ExecutionError):
+        engine.state_size()
+    with pytest.raises(ExecutionError):
+        engine.stats  # noqa: B018 - the property performs the round-trip
+    with pytest.raises(ExecutionError):
+        engine.shard_boundaries()
+
+
+def test_process_mode_introspection_flushes_buffers():
+    """stats/state_size must reflect arrivals already handed to process()."""
+    with ShardedStreamEngine(
+        CONDITION, shards=2, shard_mode="process", batch_size=1000
+    ) as engine:
+        engine.add_query("Q", 3.0)
+        engine.process_many(DATA.tuples[:50])  # far below the batch size
+        assert engine.stats.arrivals == 50
+        assert engine.state_size() > 0
