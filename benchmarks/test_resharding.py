@@ -1,0 +1,172 @@
+"""Live resharding acceptance gate (PR 5).
+
+Wall-clock throughput of one CPU-bound equi-join session under a *drifting*
+load schedule: a calm phase one shard handles comfortably, then a sustained
+burst at several times the rate.  The static session keeps the shard count
+it was planned with (N=1, right for phase one); the elastic session runs the
+same plan but lets a :class:`ShardPlanner` watch the measured load and
+reshard mid-stream — repartitioning the resident window state — once the
+burst makes more shards worth their routing overhead.
+
+The gate requires the elastic session to reach ≥1.3× the static session's
+tuples/sec over the whole schedule, with the merged output identical
+pair-for-pair (the reshard must pay for itself *and* preserve the answer).
+The measured trajectory is appended to ``results/BENCH_resharding.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from _bench_util import record_run
+
+from repro.query.predicates import EquiJoinCondition
+from repro.runtime import ShardedStreamEngine, ShardPlanner
+from repro.streams.tuples import make_tuple
+
+CALM_RATE = 120  # tuples/s per stream, phase one
+BURST_RATE = 450  # tuples/s per stream, phase two
+CALM_SECONDS = 2.0
+BURST_SECONDS = 3.5
+KEY_DOMAIN = 180
+WINDOW = 3.0
+BATCH_SIZE = 64
+MAX_SHARDS = 4
+SPEEDUP_GATE = 1.3
+PLAN_EVERY = 64  # arrivals between ShardPlanner.should_reshard calls
+
+CONDITION = EquiJoinCondition("join_key", "join_key", key_domain=KEY_DOMAIN)
+
+
+def make_drifting_stream() -> list:
+    """Two-phase arrival sequence: calm, then a sustained burst."""
+    rng = random.Random(23)
+    tuples = []
+    timestamp = 0.0
+    for rate, seconds in ((CALM_RATE, CALM_SECONDS), (BURST_RATE, BURST_SECONDS)):
+        phase_end = timestamp + seconds
+        while timestamp < phase_end:
+            timestamp += rng.expovariate(2 * rate)
+            tuples.append(
+                make_tuple(
+                    rng.choice("AB"),
+                    timestamp,
+                    join_key=rng.randrange(KEY_DOMAIN),
+                    value=rng.random(),
+                )
+            )
+    return tuples
+
+
+DATA = make_drifting_stream()
+
+
+def _pairs(results) -> list[tuple[int, int]]:
+    return sorted((j.left.seqno, j.right.seqno) for j in results)
+
+
+def _planner() -> ShardPlanner:
+    return ShardPlanner(
+        max_shards=MAX_SHARDS,
+        # One shard absorbs the calm phase (2 * CALM_RATE total) with room to
+        # spare; the burst (2 * BURST_RATE) recommends the full MAX_SHARDS.
+        target_rate_per_shard=2.2 * CALM_RATE,
+        window=0.4,
+        hysteresis=2,
+        cooldown=2.0,
+        min_arrivals=64,
+    )
+
+
+def _run(elastic: bool, rounds: int = 3):
+    best = float("inf")
+    outputs = None
+    final_shards = None
+    events = []
+    for _ in range(rounds):
+        engine = ShardedStreamEngine(
+            CONDITION, shards=1, batch_size=BATCH_SIZE, probe="nested_loop"
+        )
+        engine.add_query("Q", WINDOW)
+        planner = _planner() if elastic else None
+        events = []
+        start = time.perf_counter()
+        for index, tup in enumerate(DATA):
+            engine.process(tup)
+            if planner is not None and index % PLAN_EVERY == PLAN_EVERY - 1:
+                event = planner.maybe_reshard(engine)
+                if event is not None:
+                    events.append(event)
+        engine.flush()
+        best = min(best, time.perf_counter() - start)
+        outputs = _pairs(engine.results("Q"))
+        final_shards = engine.shards
+    return best, outputs, final_shards, events
+
+
+def test_resharding_beats_static_under_drift(results_dir):
+    static_seconds, static_out, static_shards, _ = _run(elastic=False)
+    elastic_seconds, elastic_out, elastic_shards, events = _run(elastic=True)
+
+    # Answer preservation: resharding mid-burst changes nothing downstream.
+    assert elastic_out == static_out, (
+        "the resharded session's merged output diverged from the static one"
+    )
+    # The planner actually resized the session (otherwise the benchmark
+    # silently measures two identical runs).
+    assert static_shards == 1
+    assert elastic_shards > 1, "the planner never resharded under the burst"
+
+    arrivals = len(DATA)
+    speedup = static_seconds / elastic_seconds
+    payload = {
+        "benchmark": "live_resharding_under_drift",
+        "arrivals": arrivals,
+        "workload": {
+            "calm_rate_per_stream": CALM_RATE,
+            "calm_seconds": CALM_SECONDS,
+            "burst_rate_per_stream": BURST_RATE,
+            "burst_seconds": BURST_SECONDS,
+            "window_seconds": WINDOW,
+            "equi_key_domain": KEY_DOMAIN,
+            "batch_size": BATCH_SIZE,
+            "probe": "nested_loop",
+            "joined_pairs": len(static_out),
+        },
+        "results": [
+            {
+                "mode": "static (1 shard throughout)",
+                "seconds": round(static_seconds, 6),
+                "tuples_per_sec": round(arrivals / static_seconds, 1),
+                "speedup_vs_static": 1.0,
+            },
+            {
+                "mode": f"elastic (ShardPlanner, ends at {elastic_shards} shards)",
+                "seconds": round(elastic_seconds, 6),
+                "tuples_per_sec": round(arrivals / elastic_seconds, 1),
+                "speedup_vs_static": round(speedup, 3),
+                "reshards": [
+                    {
+                        "at_stream_time": round(event.stream_time, 3),
+                        "shards": f"{event.old_shards}->{event.new_shards}",
+                        "moved_tuples": event.moved_tuples,
+                        "resident_tuples": event.resident_tuples,
+                    }
+                    for event in events
+                ],
+            },
+        ],
+        "speedup_elastic_vs_static": round(speedup, 3),
+        "gate": SPEEDUP_GATE,
+    }
+    path = record_run(results_dir, "resharding", payload)
+
+    # Full 1.3x gate locally; direction-check under CI's shared, xdist-loaded
+    # runners (both timings share the contention, but not always evenly).
+    gate = 1.1 if os.environ.get("CI") else SPEEDUP_GATE
+    assert speedup >= gate, (
+        f"the elastic session reached only {speedup:.2f}x the static "
+        f"throughput under drift (gate {gate}x); see {path}"
+    )

@@ -1,0 +1,91 @@
+"""Live resharding: a session that resizes itself when the load drifts.
+
+The demo runs one key-partitioned session through a two-phase load — calm,
+then a sustained burst — with a :class:`~repro.runtime.ShardPlanner`
+watching the measured arrival rates.  When the burst makes more shards
+worth their routing overhead, the planner reshards the *running* session:
+resident window state is repartitioned under the new modulus, undelivered
+results are carried across, and the answers stay exactly what a
+never-resharded single engine would deliver (the property fuzzed by
+``tests/test_fuzz_differential.py`` and gated in
+``benchmarks/test_resharding.py``).
+
+Run with::
+
+    PYTHONPATH=src python examples/live_resharding.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.query.predicates import EquiJoinCondition
+from repro.runtime import ShardedStreamEngine, ShardPlanner, StreamEngine
+from repro.streams.tuples import make_tuple
+
+KEY_DOMAIN = 60
+WINDOW = 2.5
+
+
+def drifting_stream():
+    """Calm phase (80/s per stream), then a 4x burst."""
+    rng = random.Random(11)
+    tuples = []
+    timestamp = 0.0
+    for rate, seconds in ((80, 3.0), (320, 3.0)):
+        end = timestamp + seconds
+        while timestamp < end:
+            timestamp += rng.expovariate(2 * rate)
+            tuples.append(
+                make_tuple(
+                    rng.choice("AB"),
+                    timestamp,
+                    join_key=rng.randrange(KEY_DOMAIN),
+                    value=rng.random(),
+                )
+            )
+    return tuples
+
+
+def main() -> None:
+    """Run the self-resizing session and check it against a single engine."""
+    tuples = drifting_stream()
+    condition = EquiJoinCondition("join_key", "join_key", key_domain=KEY_DOMAIN)
+
+    session = ShardedStreamEngine(condition, shards=1, batch_size=32)
+    session.add_query("Q", WINDOW)
+    reference = StreamEngine(condition, batch_size=32)
+    reference.add_query("Q", WINDOW)
+
+    planner = ShardPlanner(
+        max_shards=4,
+        target_rate_per_shard=200.0,  # one shard absorbs the calm phase
+        window=0.5,
+        hysteresis=2,
+        cooldown=2.0,
+    )
+    print(f"{len(tuples)} arrivals over {tuples[-1].timestamp:.1f} stream-seconds")
+    for index, tup in enumerate(tuples):
+        session.process(tup)
+        reference.process(tup)
+        if index % 64 == 63:
+            event = planner.maybe_reshard(session)
+            if event is not None:
+                print(f"  {event.describe()}")
+    session.flush()
+    reference.flush()
+
+    ours = sorted((j.left.seqno, j.right.seqno) for j in session.results("Q"))
+    theirs = sorted((j.left.seqno, j.right.seqno) for j in reference.results("Q"))
+    assert ours == theirs, "resharding must not change the answer"
+    print(
+        f"final: {session.shards} shards, {len(ours)} pairs "
+        f"(identical to the single engine), "
+        f"{len(session.reshard_events)} reshard(s)"
+    )
+    for plan_decision in list(planner.decisions)[-3:]:
+        print(f"  last decisions: {plan_decision.describe()}")
+
+
+if __name__ == "__main__":
+    main()

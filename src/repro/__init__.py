@@ -73,6 +73,8 @@ from repro.runtime import (
     AdaptivePolicy,
     CountStreamEngine,
     RegisteredQuery,
+    ReshardDecision,
+    ReshardEvent,
     ShardedStreamEngine,
     ShardPlanner,
     StreamEngine,
@@ -111,6 +113,8 @@ __all__ = [
     "QueryWorkload",
     "CountStreamEngine",
     "RegisteredQuery",
+    "ReshardDecision",
+    "ReshardEvent",
     "ShardPlanner",
     "ShardedStreamEngine",
     "StreamEngine",

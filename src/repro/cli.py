@@ -192,6 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
         "batches",
     )
     runtime.add_argument(
+        "--reshard",
+        default=None,
+        metavar="auto|N",
+        help="change the shard count of the running session: an integer "
+        "reshards once mid-stream to exactly N shards; 'auto' attaches a "
+        "ShardPlanner that reshards whenever the measured load drifts "
+        "(implies the sharded equi-join session, even with --shards 1)",
+    )
+    runtime.add_argument(
         "--stats",
         action="store_true",
         help="print the session's EngineStats, migration history and "
@@ -429,11 +438,28 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
         generate_join_workload,
     )
 
-    sharded = args.shards > 1
+    reshard_target: int | None = None
+    reshard_auto = False
+    if args.reshard is not None:
+        if args.reshard == "auto":
+            reshard_auto = True
+        else:
+            try:
+                reshard_target = int(args.reshard)
+            except ValueError:
+                raise SystemExit(
+                    f"error: --reshard takes 'auto' or a shard count, got "
+                    f"{args.reshard!r}"
+                ) from None
+            if reshard_target < 1:
+                raise SystemExit("error: --reshard N must be at least 1")
+    resharding = reshard_auto or reshard_target is not None
+    sharded = args.shards > 1 or resharding
     if sharded and args.window_kind == "count":
         raise SystemExit(
-            "error: --shards > 1 needs time windows (a count window ranks "
-            "tuples over the whole stream, not a shard's subsequence)"
+            "error: --shards > 1 / --reshard needs time windows (a count "
+            "window ranks tuples over the whole stream, not a shard's "
+            "subsequence)"
         )
     if sharded and args.adaptive:
         raise SystemExit(
@@ -499,6 +525,17 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
         f"{shard_note}",
         "",
     ]
+    reshard_at = len(tuples) // 2 if reshard_target is not None else None
+    reshard_planner = None
+    if reshard_auto:
+        # Tuned so the constant-rate demo drifts past one shard's target and
+        # the planner visibly resizes the session mid-stream.
+        reshard_planner = ShardPlanner(
+            max_shards=8,
+            target_rate_per_shard=max(args.rate / 2.0, 1.0),
+            window=max(args.duration / 8.0, 0.5),
+            cooldown=max(args.duration / 4.0, 1.0),
+        )
     for index, tup in enumerate(tuples):
         if index in admissions:
             window = admissions[index]
@@ -515,7 +552,16 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
                 f"t={tup.timestamp:7.2f}s  +{name} ({tag}window {window:g}{unit})  "
                 f"boundaries={list(engine.boundaries)}"
             )
+        if index == reshard_at:
+            event = engine.reshard(
+                reshard_target, reason="operator request (--reshard)"
+            )
+            lines.append(f"t={tup.timestamp:7.2f}s  {event.describe()}")
         engine.process(tup)
+        if reshard_planner is not None and index % 64 == 63:
+            event = reshard_planner.maybe_reshard(engine)
+            if event is not None:
+                lines.append(f"t={tup.timestamp:7.2f}s  {event.describe()}")
     engine.flush()
     lines.append("")
     for query in engine.queries():
@@ -555,6 +601,10 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
                 f"@ {event.boundary:g} -> "
                 f"boundaries {[round(b, 6) for b in event.boundaries_after]}"
             )
+        if sharded and engine.reshard_events:
+            lines.append("  reshard history:")
+            for event in engine.reshard_events:
+                lines.append(f"    {event.describe()}")
         shard_snaps = engine.shard_snapshots() if sharded else None
         snapshot = (
             engine.merged_snapshot(shard_snaps)
@@ -582,13 +632,17 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
         ):
             lines.append(f"    {key:<20} {snapshot.get(key, 0.0):g}")
         if sharded:
+            # The per-shard counters restart at every reshard, so the skew
+            # shares are only meaningful together with the modulus they were
+            # measured under.
             lines.append(
-                f"  per-shard arrivals: {engine.shard_ingest_totals(shard_snaps)}"
+                f"  per-shard arrivals (measured under modulus {engine.shards}, "
+                f"since the last reshard): {engine.shard_ingest_totals(shard_snaps)}"
             )
             lines.append(f"  {engine.merged_statistics(shard_snaps).describe()}")
             plan = ShardPlanner(
-                max_shards=max(8, args.shards),
-                target_rate_per_shard=max(2 * args.rate / args.shards, 1.0),
+                max_shards=max(8, engine.shards),
+                target_rate_per_shard=max(2 * args.rate / max(engine.shards, 1), 1.0),
             ).plan(engine)
             lines.append(f"  {plan.describe()} — {plan.reason}")
         else:

@@ -206,6 +206,50 @@ class SlicedChainBase:
                     seen.add(tup.seqno)
         return True
 
+    # -- keyed state repartition (live resharding) ------------------------------
+    def extract_keyed_state(self, predicate=None) -> list[dict[str, list[StreamTuple]]]:
+        """Remove and return the resident tuples matching ``predicate``, per slice.
+
+        Returns one ``{stream: [tuples]}`` map per slice (head slice first);
+        ``predicate`` is evaluated on each resident tuple (``None`` extracts
+        everything).  Within each list the tuples keep their arrival order
+        — the ``(timestamp, seqno)`` order every purge loop relies on.  This
+        is the donor half of the repartition primitive behind
+        :meth:`repro.runtime.sharding.ShardedStreamEngine.reshard`; the
+        receiving half is :meth:`ingest_keyed_state`.
+        """
+        return [
+            {
+                stream: join.extract_state(stream, predicate)
+                for stream in (self.left_stream, self.right_stream)
+            }
+            for join in self.joins
+        ]
+
+    def ingest_keyed_state(
+        self, state: Sequence[dict[str, list[StreamTuple]]]
+    ) -> int:
+        """Splice extracted per-slice state into this chain's slices.
+
+        ``state`` must have one ``{stream: [tuples]}`` entry per slice of
+        this chain (the donor chain must therefore hold the same boundaries
+        — the admission fan-out invariant of a sharded session).  Each
+        slice merges the incoming tuples with its resident ones in global
+        ``(timestamp, seqno)`` order and rebuilds its hash index when
+        probing is indexed.  Returns the total number of tuples spliced in.
+        """
+        if len(state) != len(self.joins):
+            raise MigrationError(
+                f"keyed state has {len(state)} slice entries, chain has "
+                f"{len(self.joins)} slices — repartition requires identical "
+                f"boundaries"
+            )
+        moved = 0
+        for join, entry in zip(self.joins, state):
+            for stream, tuples in entry.items():
+                moved += join.ingest_state(stream, tuples)
+        return moved
+
     # -- online migration (Section 5.3) -----------------------------------------
     def merge_slices(self, index: int) -> None:
         """Merge slice ``index`` with slice ``index + 1``.

@@ -70,6 +70,7 @@ class MetricsSnapshot(dict):
         "emitted.",
         "ingested.",
         "observations.",
+        "reshard.",
     )
     _COUNTER_KEYS = ("cpu_cost",)
 
@@ -170,6 +171,10 @@ class MetricsCollector:
         #: Latest stream timestamp observed (advanced by memory samples and
         #: :meth:`observe_time`); gives snapshots a stream-time axis.
         self.last_timestamp = 0.0
+        #: Live reshard events recorded against this collector.
+        self.reshards = 0
+        #: Resident tuples moved between shards across all reshard events.
+        self.reshard_tuples_moved = 0
 
     # -- CPU accounting -----------------------------------------------------
     def count(self, category: str, amount: int = 1) -> None:
@@ -204,6 +209,19 @@ class MetricsCollector:
         """Advance the stream-time axis without sampling memory."""
         if timestamp > self.last_timestamp:
             self.last_timestamp = timestamp
+
+    def record_reshard(self, tuples_moved: int) -> None:
+        """Record one live reshard and the resident tuples it repartitioned.
+
+        Moved-tuple accounting is bookkeeping, not simulated work: like
+        estimator observations it never enters ``cpu_cost`` (the wall-clock
+        price of a reshard is what ``benchmarks/test_resharding.py``
+        measures).  Snapshots expose the counters as ``reshard.count`` and
+        ``reshard.moved`` — monotone, so windowed :meth:`MetricsSnapshot.diff`
+        views report reshards per estimation window.
+        """
+        self.reshards += 1
+        self.reshard_tuples_moved += int(tuples_moved)
 
     # -- memory accounting ----------------------------------------------------
     def sample_memory(self, timestamp: float, tuples_in_state: int) -> None:
@@ -282,6 +300,8 @@ class MetricsCollector:
             self.observations[key] += value
         self.memory_samples.extend(other.memory_samples)
         self.tuples_ingested += other.tuples_ingested
+        self.reshards += other.reshards
+        self.reshard_tuples_moved += other.reshard_tuples_moved
         self.observe_time(other.last_timestamp)
 
     def snapshot(self) -> MetricsSnapshot:
@@ -309,6 +329,9 @@ class MetricsCollector:
         data["ingested.total"] = float(self.tuples_ingested)
         for name, value in self.observations.items():
             data[f"observations.{name}"] = float(value)
+        if self.reshards:
+            data["reshard.count"] = float(self.reshards)
+            data["reshard.moved"] = float(self.reshard_tuples_moved)
         data["memory.average"] = self.average_state_memory()
         data["memory.max"] = float(self.max_state_memory())
         data["cpu_cost"] = self.cpu_cost()

@@ -39,7 +39,7 @@ from typing import Any, Deque, Iterable, Sequence
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
-from repro.operators.sliced_join import resolve_probe
+from repro.operators.sliced_join import KeyedStateMixin, resolve_probe
 from repro.query.predicates import (
     EquiJoinCondition,
     JoinCondition,
@@ -273,13 +273,15 @@ class SharedCountJoin(Operator):
         )
 
 
-class CountSlicedBinaryJoin(Operator):
+class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
     """One slice ``[rank_start, rank_end)`` of a count-based sliced-join chain.
 
     Ports mirror :class:`repro.operators.sliced_join.SlicedBinaryJoin`:
     raw arrivals enter the head of the chain on ``left``/``right``;
     reference tuples travel between slices on ``chain``/``next``;
-    results leave on ``output``; punctuations on ``punct``.
+    results leave on ``output``; punctuations on ``punct``.  The keyed
+    extract/ingest surface comes from
+    :class:`~repro.operators.sliced_join.KeyedStateMixin`.
     """
 
     input_ports = ("left", "right", "chain")

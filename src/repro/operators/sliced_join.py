@@ -42,7 +42,7 @@ from repro.streams.tuples import (
     StreamTuple,
 )
 
-__all__ = ["SlicedOneWayJoin", "SlicedBinaryJoin", "resolve_probe"]
+__all__ = ["KeyedStateMixin", "SlicedOneWayJoin", "SlicedBinaryJoin", "resolve_probe"]
 
 
 def resolve_probe(probe: str, condition: JoinCondition) -> str:
@@ -59,6 +59,63 @@ def resolve_probe(probe: str, condition: JoinCondition) -> str:
     if probe == "hash" and not isinstance(condition, EquiJoinCondition):
         raise PlanError("hash probing requires an equi-join condition")
     return probe
+
+
+class KeyedStateMixin:
+    """Keyed extract/ingest over per-stream sliced states.
+
+    The repartition primitive behind live resharding
+    (:meth:`repro.runtime.sharding.ShardedStreamEngine.reshard`), shared by
+    the time- and count-sliced binary joins — both keep their resident
+    tuples in a per-stream ``_states`` map and rebuild any hash index via
+    ``load_state``, which is all this mixin requires.
+    """
+
+    def extract_state(self, stream: str, predicate=None) -> list[StreamTuple]:
+        """Remove and return one stream's resident tuples matching ``predicate``.
+
+        The donor half of the repartition primitive: a reshard exports whole
+        states with ``predicate=None`` and buckets them by key in the
+        coordinator; a keyed ``predicate`` supports donor-side filtering
+        (e.g. splitting one slice's state by key in place).  The remaining
+        tuples keep their arrival order and, when probing is indexed, the
+        hash index is rebuilt to match.  Note that for a *count* slice a
+        keyed extract changes the rank occupancy — a count chain is only
+        repartition-safe as a whole-state export, which is why resharding
+        refuses count-window sessions for more than one shard.
+        """
+        state = self._states[stream]
+        if predicate is None:
+            extracted = list(state)
+            self.load_state(stream, ())
+            return extracted
+        extracted: list[StreamTuple] = []
+        kept: list[StreamTuple] = []
+        for tup in state:
+            (extracted if predicate(tup) else kept).append(tup)
+        if extracted:
+            self.load_state(stream, kept)
+        return extracted
+
+    def ingest_state(self, stream: str, tuples: Iterable[StreamTuple]) -> int:
+        """Splice foreign tuples into one stream's resident state.
+
+        The receiving half of the repartition primitive: ``tuples`` (the
+        extract of another shard's same-boundary slice) are merged with the
+        resident tuples in global ``(timestamp, seqno)`` order — the order
+        the purge loop relies on, and for a count slice exactly rank order,
+        since ranks follow the arrival sequence.  The hash index, when
+        enabled, is rebuilt.  Returns the number of tuples spliced in.
+        """
+        incoming = list(tuples)
+        if not incoming:
+            return 0
+        merged = sorted(
+            list(self._states[stream]) + incoming,
+            key=lambda tup: (tup.timestamp, tup.seqno),
+        )
+        self.load_state(stream, merged)
+        return len(incoming)
 
 
 class SlicedOneWayJoin(Operator):
@@ -213,7 +270,7 @@ class SlicedOneWayJoin(Operator):
         return f"A{self.slice.describe()} s⋉ B on {self.condition.describe()}"
 
 
-class SlicedBinaryJoin(Operator):
+class SlicedBinaryJoin(KeyedStateMixin, Operator):
     """Sliced binary window join (Definition 3, execution of Figure 9).
 
     Ports

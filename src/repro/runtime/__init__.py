@@ -33,6 +33,8 @@ from repro.runtime.engine import (
     StreamEngine,
 )
 from repro.runtime.sharding import (
+    ReshardDecision,
+    ReshardEvent,
     ShardConfig,
     ShardedStreamEngine,
     ShardPlan,
@@ -47,6 +49,8 @@ __all__ = [
     "MigrationEvent",
     "PolicyEvent",
     "RegisteredQuery",
+    "ReshardDecision",
+    "ReshardEvent",
     "ShardConfig",
     "ShardPlan",
     "ShardPlanner",

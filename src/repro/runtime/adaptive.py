@@ -30,7 +30,7 @@ statistics and records drift, but re-baselines instead of migrating.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.statistics import StreamStatistics
 from repro.engine.metrics import MetricsSnapshot
@@ -228,6 +228,7 @@ class AdaptivePolicy:
         )
 
     def describe(self) -> str:
+        """One-line summary: tuning, calibration state and rebalance count."""
         state = (
             f"baseline={self.baseline.describe()}"
             if self.baseline is not None

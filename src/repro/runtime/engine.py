@@ -123,6 +123,7 @@ class RegisteredQuery:
 
     @property
     def has_selection(self) -> bool:
+        """Whether either side carries a non-trivial selection predicate."""
         return not isinstance(self.left_filter, TruePredicate) or not isinstance(
             self.right_filter, TruePredicate
         )
@@ -618,8 +619,20 @@ class StreamEngine:
         target = [0.0] + build_cpu_opt_chain(
             workload, params, statistics=statistics
         ).boundaries()[1:]
+        self._migrate_to(target)
+        self._refresh_plan()
+        assert self._chain is not None
+        return tuple(self._chain.boundaries)
+
+    def _migrate_to(self, target: Iterable[float]) -> None:
+        """Drain-and-splice the live chain to exactly ``target`` boundaries.
+
+        Splits run first (they only need an enclosing slice), merges second;
+        the caller re-derives the filter placement and routing afterwards.
+        """
         chain = self._chain
         assert chain is not None
+        target = list(target)
         for boundary in target:
             if all(abs(boundary - b) > _EPSILON for b in chain.boundaries):
                 index = chain.slice_index_containing(boundary)
@@ -632,18 +645,116 @@ class StreamEngine:
                 if index is not None:
                     chain.merge_slices(index)
                     self._record_migration("merge", boundary)
+
+    def set_boundaries(self, boundaries: Iterable[float]) -> tuple[float, ...]:
+        """Migrate the live chain to exactly the given boundaries.
+
+        The adoption half of state repartitioning: a replacement shard built
+        for an existing session must reproduce the donor chain's boundaries
+        — which a prior :meth:`rebalance` may have moved off the Mem-Opt
+        positions — before any per-slice state can be spliced in.  Runs the
+        usual drain-and-splice migration and re-derives the pushed-down
+        filters and routing for the new slice structure.
+
+        Parameters
+        ----------
+        boundaries:
+            The target boundaries.  Must start at 0, strictly increase, and
+            keep the current chain end (the retained horizon cannot be moved
+            by fiat — admit or remove a query instead).  A count-window
+            session must additionally keep every registered count a boundary
+            (the Mem-Opt invariant; see the class docstring).
+
+        Returns
+        -------
+        tuple[float, ...]
+            The chain boundaries after the migration (== ``boundaries``).
+
+        Raises
+        ------
+        MigrationError
+            If the engine has no chain, or the target violates the
+            constraints above.
+        """
+        if self._chain is None:
+            raise MigrationError("cannot set boundaries on an engine with no queries")
+        target = [self._chain._coerce_boundary(b) for b in boundaries]
+        if len(target) < 2 or abs(target[0]) > _EPSILON:
+            raise MigrationError(f"boundaries must start at 0, got {target}")
+        if any(b2 <= b1 for b1, b2 in zip(target, target[1:])):
+            raise MigrationError(f"boundaries must strictly increase, got {target}")
+        current_end = self._chain.boundaries[-1]
+        if abs(target[-1] - current_end) > _EPSILON:
+            raise MigrationError(
+                f"target end {target[-1]:g} must keep the chain end "
+                f"{current_end:g} (admit or remove a query to move it)"
+            )
+        if self.window_kind == "count":
+            for query in self._queries.values():
+                if all(abs(query.window - b) > _EPSILON for b in target):
+                    raise MigrationError(
+                        f"count boundary {query.window:g} of query "
+                        f"{query.name!r} missing from target {target} "
+                        f"(Mem-Opt invariant)"
+                    )
+        self._drain()
+        self._migrate_to(target)
         self._refresh_plan()
-        return tuple(chain.boundaries)
+        return tuple(self._chain.boundaries)
+
+    # -- keyed state repartition (live resharding) ------------------------------
+    def extract_keyed_state(self, predicate=None) -> list[dict[str, list[StreamTuple]]]:
+        """Drain, then remove and return resident tuples matching ``predicate``.
+
+        One ``{stream: [tuples]}`` map per slice, in chain order — the donor
+        half of the repartition primitive behind
+        :meth:`repro.runtime.sharding.ShardedStreamEngine.reshard`.
+        ``predicate`` is evaluated per resident tuple; ``None`` extracts
+        everything.  An idle engine (no queries, hence no chain) returns an
+        empty list.
+        """
+        self._drain()
+        if self._chain is None:
+            return []
+        return self._chain.extract_keyed_state(predicate)
+
+    def ingest_keyed_state(
+        self, state: "list[dict[str, list[StreamTuple]]]"
+    ) -> int:
+        """Drain, then splice extracted per-slice state into the live chain.
+
+        ``state`` must carry one entry per slice (the donor chain must hold
+        identical boundaries — use :meth:`set_boundaries` first).  Returns
+        the number of tuples spliced in.
+
+        Raises
+        ------
+        MigrationError
+            If the engine has no chain, or ``state`` does not match the
+            chain's slice count.
+        """
+        self._drain()
+        if self._chain is None:
+            if not state:
+                return 0
+            raise MigrationError("cannot ingest state into an engine with no queries")
+        return self._chain.ingest_keyed_state(state)
 
     # -- introspection ---------------------------------------------------------
     @property
     def boundaries(self) -> tuple[float, ...]:
+        """The live chain's slice boundaries (empty for an idle engine)."""
         return tuple(self._chain.boundaries) if self._chain is not None else ()
 
     def queries(self) -> list[RegisteredQuery]:
+        """The registered queries, sorted by (window, name)."""
         return sorted(self._queries.values(), key=lambda q: (q.window, q.name))
 
     def query(self, name: str) -> RegisteredQuery:
+        """The registered query named ``name``.
+
+        Raises :class:`~repro.engine.errors.QueryError` if unknown.
+        """
         try:
             return self._queries[name]
         except KeyError:
@@ -679,15 +790,19 @@ class StreamEngine:
         return self._chain.link_filters()
 
     def slice_count(self) -> int:
+        """Number of slices in the live chain (0 for an idle engine)."""
         return self._chain.slice_count() if self._chain is not None else 0
 
     def state_size(self) -> int:
+        """Total tuples resident across the chain's join states."""
         return self._chain.state_size() if self._chain is not None else 0
 
     def states_are_disjoint(self) -> bool:
+        """Check the Lemma 1 property: per-stream slice states never overlap."""
         return self._chain.states_are_disjoint() if self._chain is not None else True
 
     def describe(self) -> str:
+        """One-line summary: registered queries and the chain layout."""
         if self._chain is None:
             return "StreamEngine (idle: no registered queries)"
         unit = "s" if self.window_kind == "time" else " rows"

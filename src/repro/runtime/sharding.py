@@ -45,19 +45,24 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
 import zlib
+from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.core.merge_graph import ChainCostParameters
 from repro.core.statistics import StreamStatistics
-from repro.engine.errors import ExecutionError, QueryError, ShardingError
+from repro.engine.errors import ExecutionError, MigrationError, QueryError, ShardingError
 from repro.engine.metrics import MetricsCollector, MetricsSnapshot
 from repro.query.predicates import EquiJoinCondition, JoinCondition, Predicate
 from repro.runtime.engine import EngineStats, RegisteredQuery, StreamEngine
 from repro.streams.tuples import JoinedTuple, StreamTuple
 
 __all__ = [
+    "ReshardDecision",
+    "ReshardEvent",
     "ShardConfig",
     "ShardPlan",
     "ShardPlanner",
@@ -104,6 +109,7 @@ class ShardConfig:
     collect_statistics: bool = False
 
     def build(self) -> StreamEngine:
+        """Construct one shard's :class:`StreamEngine` from this config."""
         return StreamEngine(
             self.condition,
             left_stream=self.left_stream,
@@ -114,6 +120,23 @@ class ShardConfig:
             probe=self.probe,
             collect_statistics=self.collect_statistics,
         )
+
+
+def _export_engine(engine: StreamEngine, names: Sequence[str]) -> dict:
+    """Drain one shard engine and strip it for a reshard.
+
+    One definition serves both drivers — the serial loop and the worker
+    process's ``export`` command — so the payload's fields cannot drift
+    apart between shard modes.
+    """
+    engine.flush()
+    return {
+        "boundaries": engine.boundaries,
+        "state": engine.extract_keyed_state(),
+        "results": {name: engine.pop_results(name) for name in names},
+        "stats": engine.stats,
+        "snapshot": engine.metrics.snapshot(),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +203,16 @@ def _shard_worker(conn, config: ShardConfig) -> None:  # pragma: no cover - subp
             elif command == "rebalance":
                 params, statistics = payload
                 result = engine.rebalance(params, statistics=statistics)
+            elif command == "export":
+                # Live-reshard donor half: drain, then ship boundaries, the
+                # whole keyed state, undelivered results and the counters of
+                # this generation back to the coordinator (payload is the
+                # registered query names).
+                result = _export_engine(engine, payload)
+            elif command == "adopt":
+                result = engine.set_boundaries(payload)
+            elif command == "ingest":
+                result = engine.ingest_keyed_state(payload)
             else:
                 raise ExecutionError(f"unknown shard command {command!r}")
         except Exception as exc:  # noqa: BLE001 - reported to the parent
@@ -191,6 +224,29 @@ def _shard_worker(conn, config: ShardConfig) -> None:  # pragma: no cover - subp
         else:
             conn.send(("ok", result))
     conn.close()
+
+
+@dataclass(frozen=True)
+class ReshardEvent:
+    """One live shard-count change performed by :meth:`ShardedStreamEngine.reshard`."""
+
+    old_shards: int  #: Shard count before the reshard.
+    new_shards: int  #: Shard count after the reshard.
+    moved_tuples: int  #: Resident tuples that changed shards under the new modulus.
+    resident_tuples: int  #: Total resident tuples repartitioned (moved or not).
+    carried_results: int  #: Undelivered per-query results carried across generations.
+    arrivals: int  #: Session arrivals ingested when the reshard ran.
+    stream_time: float  #: Stream clock at the reshard (max per-shard ``time.last``).
+    reason: str = ""  #: Why the reshard happened (planner decision or caller note).
+
+    def describe(self) -> str:
+        """One-line human-readable form of this event."""
+        return (
+            f"reshard {self.old_shards}->{self.new_shards} @ t={self.stream_time:g}s: "
+            f"moved {self.moved_tuples}/{self.resident_tuples} resident tuples, "
+            f"carried {self.carried_results} results"
+            + (f" ({self.reason})" if self.reason else "")
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -284,8 +340,9 @@ class ShardedStreamEngine:
             system_overhead=system_overhead,
             collect_statistics=collect_statistics,
         )
-        if shards > 1:
-            assert isinstance(condition, EquiJoinCondition)
+        if isinstance(condition, EquiJoinCondition):
+            # Kept even for one shard: a later reshard to N > 1 partitions
+            # the resident state on the same equi-key.
             self._key_attrs = {
                 left_stream: condition.left_attribute,
                 right_stream: condition.right_attribute,
@@ -294,15 +351,51 @@ class ShardedStreamEngine:
             self._key_attrs = None
         self._queries: dict[str, RegisteredQuery] = {}
         self._arrivals = 0
+        self._clock = 0.0
         self._closed = False
         self.shard_engines: list[StreamEngine] = []
         self._workers: list = []
         self._pipes: list = []
         self._buffers: list[list[StreamTuple]] = []
+        #: Session-level collector: reshard events and moved-tuple accounting
+        #: (per-shard work lives in the shard engines' own collectors).
+        self.metrics = MetricsCollector()
+        #: Reshard history, newest last (see :class:`ReshardEvent`).
+        self.reshard_events: list[ReshardEvent] = []
+        # Carryover views across reshard generations: undelivered per-query
+        # results, retired EngineStats/metrics counters, and the statistics
+        # epoch (zero counters at the stream time of the last reshard, so
+        # post-reshard rate estimates use the right time span).
+        self._carryover: dict[str, list[JoinedTuple]] = {}
+        self._stats_base: EngineStats | None = None
+        self._snapshot_base: MetricsSnapshot | None = None
+        self._epoch: MetricsSnapshot = MetricsCollector().snapshot()
+        # Admissions, removals and reshards serialize on this lock (a reshard
+        # must never observe a half-fanned-out admission); the owner check
+        # turns same-thread re-entry into an error instead of a deadlock.
+        self._session_lock = threading.Lock()
+        self._lock_owner: int | None = None
         if self.shard_mode == "serial":
             self.shard_engines = [self.config.build() for _ in range(self.shards)]
         else:
             self._start_workers()
+
+    @contextmanager
+    def _serialized(self, what: str):
+        """Hold the session lock for one structural change (admission/reshard)."""
+        me = threading.get_ident()
+        if self._lock_owner == me:
+            raise MigrationError(
+                f"cannot {what}: a session migration is already in progress "
+                f"on this thread"
+            )
+        self._session_lock.acquire()
+        self._lock_owner = me
+        try:
+            yield
+        finally:
+            self._lock_owner = None
+            self._session_lock.release()
 
     # -- process-mode plumbing -------------------------------------------------
     def _start_workers(self) -> None:
@@ -319,26 +412,44 @@ class ShardedStreamEngine:
             self._pipes.append(parent_conn)
             self._buffers.append([])
 
-    def _request(self, index: int, command: str, payload=None):
-        pipe = self._pipes[index]
-        pipe.send((command, payload))
-        status, result = pipe.recv()
+    def _receive(self, index: int, command: str):
+        """One reply from shard ``index``; dead workers surface as errors."""
+        try:
+            status, result = self._pipes[index].recv()
+        except (EOFError, OSError) as exc:
+            raise ExecutionError(
+                f"shard {index}: worker died during {command!r} "
+                f"({type(exc).__name__}); the session is in an undefined "
+                f"state — close it"
+            ) from exc
         if status == "error":
             raise ExecutionError(f"shard {index}: {result}")
         return result
 
+    def _request(self, index: int, command: str, payload=None):
+        try:
+            self._pipes[index].send((command, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise ExecutionError(
+                f"shard {index}: worker died before {command!r} "
+                f"({type(exc).__name__}); the session is in an undefined "
+                f"state — close it"
+            ) from exc
+        return self._receive(index, command)
+
     def _request_all(self, command: str, payload=None) -> list:
         # Send first, receive second: the shards work concurrently while the
         # parent waits, instead of serializing one round-trip per shard.
-        for pipe in self._pipes:
-            pipe.send((command, payload))
-        results = []
-        for index, pipe in enumerate(self._pipes):
-            status, result = pipe.recv()
-            if status == "error":
-                raise ExecutionError(f"shard {index}: {result}")
-            results.append(result)
-        return results
+        for index in range(len(self._pipes)):
+            try:
+                self._pipes[index].send((command, payload))
+            except (BrokenPipeError, OSError) as exc:
+                raise ExecutionError(
+                    f"shard {index}: worker died before {command!r} "
+                    f"({type(exc).__name__}); the session is in an undefined "
+                    f"state — close it"
+                ) from exc
+        return [self._receive(index, command) for index in range(len(self._pipes))]
 
     def _send_buffers(self) -> None:
         for index, buffer in enumerate(self._buffers):
@@ -346,12 +457,8 @@ class ShardedStreamEngine:
                 self._pipes[index].send(("batch", buffer))
                 self._buffers[index] = []
 
-    def close(self) -> None:
-        """Shut the worker processes down (no-op for serial sessions)."""
-        if self._closed or self.shard_mode != "process":
-            self._closed = True
-            return
-        self._closed = True
+    def _stop_workers(self) -> None:
+        """Stop the current worker generation (close, join, drop the pipes)."""
         for pipe in self._pipes:
             try:
                 pipe.send(("close", None))
@@ -363,6 +470,17 @@ class ShardedStreamEngine:
                 worker.terminate()
         for pipe in self._pipes:
             pipe.close()
+        self._workers = []
+        self._pipes = []
+        self._buffers = []
+
+    def close(self) -> None:
+        """Shut the worker processes down (no-op for serial sessions)."""
+        if self._closed or self.shard_mode != "process":
+            self._closed = True
+            return
+        self._closed = True
+        self._stop_workers()
 
     def __enter__(self) -> "ShardedStreamEngine":
         return self
@@ -377,7 +495,7 @@ class ShardedStreamEngine:
     # -- routing ---------------------------------------------------------------
     def shard_of(self, tup: StreamTuple) -> int:
         """The shard an arrival is routed to (pure in the tuple's key)."""
-        if self._key_attrs is None:
+        if self.shards == 1 or self._key_attrs is None:
             return 0
         try:
             attribute = self._key_attrs[tup.stream]
@@ -394,6 +512,7 @@ class ShardedStreamEngine:
         self._check_open()
         index = self.shard_of(tup)
         self._arrivals += 1
+        self._clock = tup.timestamp
         if self.shard_mode == "serial":
             self.shard_engines[index].process(tup)
             return
@@ -430,46 +549,54 @@ class ShardedStreamEngine:
 
         All shards run the same migration, so their chain boundaries and
         pushed-down filters stay identical — the session behaves as one
-        engine whose state happens to be partitioned by key.
+        engine whose state happens to be partitioned by key.  Admissions,
+        removals and reshards serialize on one session lock.
         """
-        self._check_open()
-        if name in self._queries:
-            raise QueryError(f"query {name!r} is already registered")
-        if self.shard_mode == "serial":
-            registered = None
-            for engine in self.shard_engines:
-                registered = engine.add_query(
-                    name, window, left_filter=left_filter, right_filter=right_filter
-                )
-            assert registered is not None
-            query = replace(registered, registered_at=self._arrivals)
-        else:
-            self._send_buffers()
-            self._request_all("add", (name, window, left_filter, right_filter))
-            updates = {
-                key: value
-                for key, value in (
-                    ("left_filter", left_filter),
-                    ("right_filter", right_filter),
-                )
-                if value is not None
-            }
-            query = RegisteredQuery(name, window, self._arrivals, **updates)
-        self._queries[name] = query
-        return query
+        with self._serialized("admit a query"):
+            self._check_open()
+            if name in self._queries:
+                raise QueryError(f"query {name!r} is already registered")
+            if self.shard_mode == "serial":
+                registered = None
+                for engine in self.shard_engines:
+                    registered = engine.add_query(
+                        name, window, left_filter=left_filter, right_filter=right_filter
+                    )
+                assert registered is not None
+                query = replace(registered, registered_at=self._arrivals)
+            else:
+                self._send_buffers()
+                self._request_all("add", (name, window, left_filter, right_filter))
+                updates = {
+                    key: value
+                    for key, value in (
+                        ("left_filter", left_filter),
+                        ("right_filter", right_filter),
+                    )
+                    if value is not None
+                }
+                query = RegisteredQuery(name, window, self._arrivals, **updates)
+            self._queries[name] = query
+            return query
 
     def remove_query(self, name: str) -> list[JoinedTuple]:
-        """Deregister a query on every shard; return its merged results."""
-        self._check_open()
-        if name not in self._queries:
-            raise QueryError(f"no registered query named {name!r}")
-        if self.shard_mode == "serial":
-            delivered = [engine.remove_query(name) for engine in self.shard_engines]
-        else:
-            self._send_buffers()
-            delivered = self._request_all("remove", name)
-        del self._queries[name]
-        return self._merge(delivered)
+        """Deregister a query on every shard; return its merged results.
+
+        Results delivered before the last :meth:`reshard` (carried across
+        the generation change) are included in the merge.
+        """
+        with self._serialized("remove a query"):
+            self._check_open()
+            if name not in self._queries:
+                raise QueryError(f"no registered query named {name!r}")
+            if self.shard_mode == "serial":
+                delivered = [engine.remove_query(name) for engine in self.shard_engines]
+            else:
+                self._send_buffers()
+                delivered = self._request_all("remove", name)
+            del self._queries[name]
+            delivered.append(self._carryover.pop(name, []))
+            return self._merge(delivered)
 
     # -- results ---------------------------------------------------------------
     @staticmethod
@@ -482,7 +609,11 @@ class ShardedStreamEngine:
         )
 
     def results(self, name: str) -> list[JoinedTuple]:
-        """A query's merged results so far (buffered arrivals included)."""
+        """A query's merged results so far (buffered arrivals included).
+
+        Includes results delivered before any :meth:`reshard` (the carryover
+        of retired shard generations), re-merged into the global order.
+        """
         self._check_open()
         if name not in self._queries:
             raise QueryError(f"no registered query named {name!r}")
@@ -491,10 +622,11 @@ class ShardedStreamEngine:
         else:
             self._send_buffers()
             per_shard = self._request_all("results", name)
+        per_shard.append(self._carryover.get(name, []))
         return self._merge(per_shard)
 
     def pop_results(self, name: str) -> list[JoinedTuple]:
-        """Return and clear a query's merged results."""
+        """Return and clear a query's merged results (carryover included)."""
         self._check_open()
         if name not in self._queries:
             raise QueryError(f"no registered query named {name!r}")
@@ -503,6 +635,7 @@ class ShardedStreamEngine:
         else:
             self._send_buffers()
             per_shard = self._request_all("pop", name)
+        per_shard.append(self._carryover.pop(name, []))
         return self._merge(per_shard)
 
     # -- statistics ------------------------------------------------------------
@@ -520,24 +653,36 @@ class ShardedStreamEngine:
     ) -> MetricsSnapshot:
         """The per-shard snapshots folded into one global counter view.
 
-        Pass ``snapshots`` (a prior :meth:`shard_snapshots` value) to reuse
-        one fetch across several derived views — in process mode every
-        fresh fetch is a flush plus one round-trip per worker."""
+        Counters of shard generations retired by :meth:`reshard` are folded
+        in (their memory gauges are not — two generations overlap in time),
+        as are the session-level reshard counters.  Pass ``snapshots`` (a
+        prior :meth:`shard_snapshots` value) to reuse one fetch across
+        several derived views — in process mode every fresh fetch is a
+        flush plus one round-trip per worker."""
         if snapshots is None:
             snapshots = self.shard_snapshots()
-        return MetricsSnapshot.aggregate(snapshots)
+        parts = list(snapshots)
+        if self._snapshot_base is not None:
+            parts.append(self._snapshot_base)
+        if self.metrics.reshards:
+            parts.append(self.metrics.snapshot())
+        return MetricsSnapshot.aggregate(parts)
 
     def shard_statistics(
         self, snapshots: Sequence[MetricsSnapshot] | None = None
     ) -> list[StreamStatistics]:
-        """Whole-session statistics estimates, one per shard (measured
-        per-shard rates — unequal under key skew)."""
+        """Statistics estimates, one per shard (measured per-shard rates —
+        unequal under key skew).
+
+        Estimated over the current shard *generation*: the window opens at
+        the last :meth:`reshard` (or session start), so rates are measured
+        under the modulus the counters were collected with.
+        """
         if snapshots is None:
             snapshots = self.shard_snapshots()
-        empty = MetricsCollector().snapshot()
         return [
             StreamStatistics.from_metrics_delta(
-                snapshot.diff(empty),
+                snapshot.diff(self._epoch),
                 left_stream=self.left_stream,
                 right_stream=self.right_stream,
             )
@@ -550,16 +695,18 @@ class ShardedStreamEngine:
         """The global statistics view: per-shard observations aggregated
         before estimation (the input of a :class:`ShardPlanner`).
 
-        Note the join factor of this view is the *within-shard* match rate —
-        conditioned on key co-location, so ≈ N× the unpartitioned S1 under
-        uniform keys.  That is deliberately the right quantity here: it is
-        what a shard's probes actually hit, hence what prices a shard's
-        chain; the arrival rates remain global (summed across shards)."""
+        Like :meth:`shard_statistics`, the estimation window opens at the
+        last :meth:`reshard` — mixing counters measured under two different
+        moduli would bias every per-shard quantity.  Note the join factor
+        of this view is the *within-shard* match rate — conditioned on key
+        co-location, so ≈ N× the unpartitioned S1 under uniform keys.  That
+        is deliberately the right quantity here: it is what a shard's
+        probes actually hit, hence what prices a shard's chain; the arrival
+        rates remain global (summed across shards)."""
         if snapshots is None:
             snapshots = self.shard_snapshots()
-        empty = MetricsCollector().snapshot()
         return StreamStatistics.from_shard_windows(
-            [(empty, snapshot) for snapshot in snapshots],
+            [(self._epoch, snapshot) for snapshot in snapshots],
             left_stream=self.left_stream,
             right_stream=self.right_stream,
         )
@@ -622,6 +769,286 @@ class ShardedStreamEngine:
         assert boundaries is not None
         return boundaries
 
+    # -- live resharding -------------------------------------------------------
+    def reshard(self, target: "int | ShardPlan", reason: str = "") -> ReshardEvent:
+        """Change the shard count of the running session to ``target``.
+
+        The one migration primitive the fan-out invariant cannot express:
+        every resident tuple must move to the shard its key hashes to under
+        the *new* modulus.  The session performs a keyed state repartition
+        without stopping ingestion or changing any query's answer:
+
+        1. **drain** — in-flight batches are flushed on every shard;
+        2. **export** — each shard's per-slice window state is extracted
+           (:meth:`StreamEngine.extract_keyed_state`), its undelivered
+           results popped, and its counters retired into the session-level
+           carryover views;
+        3. **repartition** — every resident tuple is bucketed by
+           ``shard_for_key(key, target)``, per slice and stream;
+        4. **rebuild** — ``target`` fresh shards replay the current
+           admissions (which re-derives the pushed-down filters), adopt the
+           donor generation's exact chain boundaries
+           (:meth:`StreamEngine.set_boundaries` — a prior rebalance may
+           have moved them off the Mem-Opt positions), and splice their
+           bucket in (:meth:`StreamEngine.ingest_keyed_state` — per-slice
+           ``(timestamp, seqno)`` merge, hash indexes rebuilt).
+
+        Ingestion resumes against the new generation; subsequent statistics
+        views are measured under the new modulus (the estimation epoch
+        resets to the reshard's stream time).  "Without stopping ingestion"
+        means no arrival is lost or reordered across the cut in the ingest
+        loop — it does **not** make ``process``/``flush`` safe to call from
+        another thread while the reshard runs: ingestion is single-threaded
+        by contract (admissions, removals and reshards serialize on the
+        session lock; readers and writers of the stream do not).
+
+        Parameters
+        ----------
+        target:
+            The new shard count, or a :class:`ShardPlan` whose ``shards``
+            (and ``reason``) are used.  ``1`` is the degenerate single
+            engine; values above 1 require an equi-join time-window session
+            (the same constraint as constructing a sharded session).
+        reason:
+            Free-form note recorded on the :class:`ReshardEvent` (the
+            planner passes its decision reason).
+
+        Returns
+        -------
+        ReshardEvent
+            The recorded event — moved/resident tuple counts, carried
+            results, and the stream time of the cut.  A no-op (``target``
+            equals the current count) returns an event with nothing moved
+            and is not recorded in :attr:`reshard_events`.
+
+        Raises
+        ------
+        ShardingError
+            If ``target`` is not partitionable (non-equi condition or count
+            windows with ``target > 1``) or not positive.
+        MigrationError
+            If called re-entrantly from within another session migration on
+            the same thread (admissions and reshards serialize).
+        ExecutionError
+            If the session is closed, or a process-mode worker died — the
+            session is then in an undefined state and must be closed.
+        """
+        if isinstance(target, ShardPlan):
+            if not reason:
+                reason = target.reason
+            target = target.shards
+        if (
+            isinstance(target, bool)
+            or not isinstance(target, (int, float))
+            or target != int(target)
+        ):
+            raise ShardingError(
+                f"shard count must be a whole number, got {target!r}"
+            )
+        target = int(target)
+        with self._serialized("reshard"):
+            self._check_open()
+            if target < 1:
+                raise ShardingError(f"shard count must be at least 1, got {target}")
+            if target > 1:
+                problem = None
+                if not isinstance(self.condition, EquiJoinCondition):
+                    problem = (
+                        f"condition {self.condition.describe()!r} has no "
+                        f"equi-key to partition on"
+                    )
+                elif self.window_kind != "time":
+                    problem = (
+                        "count windows rank tuples over the whole stream, "
+                        "not a shard's subsequence"
+                    )
+                if problem is not None:
+                    raise ShardingError(
+                        f"cannot reshard to {target} shards: {problem}"
+                    )
+            old = self.shards
+            if target == old:
+                return ReshardEvent(
+                    old_shards=old,
+                    new_shards=target,
+                    moved_tuples=0,
+                    resident_tuples=0,
+                    carried_results=0,
+                    arrivals=self._arrivals,
+                    stream_time=self._stream_time(),
+                    reason=reason or "no-op: already at the target shard count",
+                )
+            exports = self._export_shards()
+            boundaries = tuple(exports[0]["boundaries"])
+            stream_time = max(
+                (export["snapshot"].get("time.last", 0.0) for export in exports),
+                default=0.0,
+            )
+            # Repartition every resident tuple under the new modulus.  Each
+            # tuple remembers its donor slice, but the final placement must
+            # restore the chain's *layering invariant* — every tuple of
+            # slice k+1 older than every tuple of slice k.  Purging is
+            # per-shard lazy, so one donor may retain a tuple shallowly that
+            # another donor has long pushed past; merged naively, a later
+            # cross-purge would append females out of timestamp order and an
+            # unchecked slice (end <= window) could emit a too-old pair.
+            # Conflicts are resolved by pulling tuples *shallower* (walking
+            # oldest -> newest, depth only ever shrinks): a shallower slice
+            # re-purges the tuple on the next probe, whereas a deeper slice
+            # is not tapped by small-window queries and would lose results.
+            streams = (self.left_stream, self.right_stream)
+            slice_count = len(boundaries) - 1 if boundaries else 0
+            entries: list[dict[str, list]] = [
+                {stream: [] for stream in streams} for _ in range(target)
+            ]
+            moved = 0
+            resident = 0
+            key_attrs = self._key_attrs
+            for old_index, export in enumerate(exports):
+                for slice_index, entry in enumerate(export["state"]):
+                    for stream, tuples in entry.items():
+                        for tup in tuples:
+                            resident += 1
+                            if target == 1:
+                                new_index = 0
+                            else:
+                                assert key_attrs is not None
+                                new_index = shard_for_key(
+                                    tup[key_attrs[stream]], target
+                                )
+                            if new_index != old_index:
+                                moved += 1
+                            entries[new_index][stream].append((tup, slice_index))
+            buckets: list[list[dict[str, list[StreamTuple]]]] = [
+                [{stream: [] for stream in streams} for _ in range(slice_count)]
+                for _ in range(target)
+            ]
+            for new_index in range(target):
+                for stream in streams:
+                    tagged = entries[new_index][stream]
+                    tagged.sort(key=lambda e: (e[0].timestamp, e[0].seqno))
+                    depth = slice_count  # oldest first; depth only shrinks
+                    for tup, donor_depth in tagged:
+                        depth = min(depth, donor_depth)
+                        buckets[new_index][depth][stream].append(tup)
+            # Results already delivered by the retiring generation stay
+            # readable through the carryover view.
+            carried = 0
+            for name in self._queries:
+                pending = self._merge(
+                    [export["results"].get(name, []) for export in exports]
+                )
+                if pending:
+                    carried += len(pending)
+                    self._carryover.setdefault(name, []).extend(pending)
+            # Retire the old generation's counters (memory gauges dropped:
+            # generations overlap in time, their occupancies must not sum).
+            stats_parts = [export["stats"] for export in exports]
+            if self._stats_base is not None:
+                stats_parts.insert(0, self._stats_base)
+            self._stats_base = EngineStats.aggregate(stats_parts)
+            snapshot_parts = [export["snapshot"] for export in exports]
+            if self._snapshot_base is not None:
+                snapshot_parts.insert(0, self._snapshot_base)
+            snapshot_base = MetricsSnapshot.aggregate(snapshot_parts)
+            for gauge in ("memory.average", "memory.max"):
+                snapshot_base.pop(gauge, None)
+            self._snapshot_base = snapshot_base
+            self._epoch = MetricsSnapshot({"time.last": stream_time})
+            # Build the new generation and splice the buckets in.
+            self.shards = target
+            self._build_generation(boundaries, buckets)
+            self.metrics.record_reshard(moved)
+            self.metrics.observe_time(stream_time)
+            event = ReshardEvent(
+                old_shards=old,
+                new_shards=target,
+                moved_tuples=moved,
+                resident_tuples=resident,
+                carried_results=carried,
+                arrivals=self._arrivals,
+                stream_time=stream_time,
+                reason=reason,
+            )
+            self.reshard_events.append(event)
+            return event
+
+    @property
+    def partitionable(self) -> bool:
+        """Whether this session can run more than one shard.
+
+        True for equi-join time-window sessions — the same constraint the
+        constructor and :meth:`reshard` enforce; the reshard policy checks
+        it before recommending growth.
+        """
+        return (
+            isinstance(self.condition, EquiJoinCondition)
+            and self.window_kind == "time"
+        )
+
+    @property
+    def stream_clock(self) -> float:
+        """Stream timestamp of the last ingested arrival (no shard I/O).
+
+        Tracked by the coordinator, so reading it never flushes a shard —
+        the cheap clock :meth:`ShardPlanner.should_reshard` polls between
+        estimation windows.
+        """
+        return self._clock
+
+    def _stream_time(self) -> float:
+        """The stream time of a cut (the coordinator has seen every arrival)."""
+        return self._clock
+
+    def _export_shards(self) -> list[dict]:
+        """Drain and strip the retiring generation: state, results, counters."""
+        names = list(self._queries)
+        if self.shard_mode == "serial":
+            return [_export_engine(engine, names) for engine in self.shard_engines]
+        self._send_buffers()
+        exports = self._request_all("export", names)
+        self._stop_workers()
+        return exports
+
+    def _build_generation(
+        self,
+        boundaries: tuple[float, ...],
+        buckets: "list[list[dict[str, list[StreamTuple]]]]",
+    ) -> None:
+        """Start ``self.shards`` fresh shards at the donor boundaries and
+        splice each one's repartitioned state bucket in."""
+        queries = list(self._queries.values())
+        if self.shard_mode == "serial":
+            # Build the generation fully before publishing it: the session
+            # is single-threaded for ingestion by contract, but a complete
+            # swap keeps the visible state consistent at every point.
+            engines = [self.config.build() for _ in range(self.shards)]
+            for index, engine in enumerate(engines):
+                for query in queries:
+                    engine.add_query(
+                        query.name,
+                        query.window,
+                        left_filter=query.left_filter,
+                        right_filter=query.right_filter,
+                    )
+                if queries:
+                    engine.set_boundaries(boundaries)
+                    engine.ingest_keyed_state(buckets[index])
+            self.shard_engines = engines
+            return
+        self._start_workers()
+        for query in queries:
+            self._request_all(
+                "add",
+                (query.name, query.window, query.left_filter, query.right_filter),
+            )
+        if queries:
+            self._request_all("adopt", boundaries)
+            for index in range(self.shards):
+                self._pipes[index].send(("ingest", buckets[index]))
+            for index in range(self.shards):
+                self._receive(index, "ingest")
+
     # -- introspection ---------------------------------------------------------
     def _shard_states(self) -> list[dict]:
         """Process-mode introspection: flush buffers, one round-trip each."""
@@ -632,35 +1059,52 @@ class ShardedStreamEngine:
     @property
     def stats(self) -> EngineStats:
         """Aggregated session counters (migrations from the first shard —
-        the fan-out keeps every shard's migration sequence identical)."""
+        the fan-out keeps every shard's migration sequence identical).
+
+        Counters of generations retired by :meth:`reshard` are included;
+        the migration history shown is the oldest generation's (each
+        reshard replays admissions, so later generations repeat it).
+        """
         if self.shard_mode == "serial":
             self._check_open()
-            return EngineStats.aggregate(engine.stats for engine in self.shard_engines)
-        return EngineStats.aggregate(state["stats"] for state in self._shard_states())
+            current = [engine.stats for engine in self.shard_engines]
+        else:
+            current = [state["stats"] for state in self._shard_states()]
+        if self._stats_base is not None:
+            current.insert(0, self._stats_base)
+        return EngineStats.aggregate(current)
 
     @property
     def boundaries(self) -> tuple[float, ...]:
+        """The session's chain boundaries (identical on every shard)."""
         if self.shard_mode == "serial":
             self._check_open()
             return self.shard_engines[0].boundaries
         return self.shard_boundaries()[0]
 
     def shard_boundaries(self) -> list[tuple[float, ...]]:
+        """Every shard's chain boundaries (the fan-out keeps them equal)."""
         if self.shard_mode == "serial":
             self._check_open()
             return [engine.boundaries for engine in self.shard_engines]
         return [tuple(state["boundaries"]) for state in self._shard_states()]
 
     def queries(self) -> list[RegisteredQuery]:
+        """The registered queries, sorted by (window, name)."""
         return sorted(self._queries.values(), key=lambda q: (q.window, q.name))
 
     def query(self, name: str) -> RegisteredQuery:
+        """The registered query named ``name``.
+
+        Raises :class:`~repro.engine.errors.QueryError` if unknown.
+        """
         try:
             return self._queries[name]
         except KeyError:
             raise QueryError(f"no registered query named {name!r}") from None
 
     def slice_count(self) -> int:
+        """Slices per shard chain (identical on every shard)."""
         if self.shard_mode == "serial":
             self._check_open()
             return self.shard_engines[0].slice_count()
@@ -690,6 +1134,7 @@ class ShardedStreamEngine:
         return [int(snapshot.get("ingested.total", 0.0)) for snapshot in snapshots]
 
     def describe(self) -> str:
+        """One-line summary: shard layout and the inner session shape."""
         inner = (
             self.shard_engines[0].describe()
             if self.shard_mode == "serial"
@@ -719,16 +1164,39 @@ class ShardPlan:
     imbalance: float  #: max/mean per-shard ingest share (1.0 = perfectly even).
     skewed: bool  #: True when the imbalance exceeds the planner's threshold.
     reason: str
+    #: Modulus the skew shares were measured under — per-shard ingest
+    #: counters only describe the shard count they were collected with, so
+    #: after any reshard the imbalance is meaningless without this.
+    measured_shards: int = 1
 
     def describe(self) -> str:
+        """One-line human-readable form of this plan."""
         skew = f"skewed {self.imbalance:.2f}x" if self.skewed else (
             f"balanced ({self.imbalance:.2f}x)"
         )
-        return f"ShardPlan[{self.shards} shards for {self.total_rate:.3g}/s, {skew}]"
+        return (
+            f"ShardPlan[{self.shards} shards for {self.total_rate:.3g}/s, "
+            f"{skew} measured under modulus {self.measured_shards}]"
+        )
+
+
+@dataclass(frozen=True)
+class ReshardDecision:
+    """One verdict of :meth:`ShardPlanner.should_reshard` (for observability)."""
+
+    reshard: bool  #: True when the session should move to ``target`` shards now.
+    target: int  #: The shard count the decision is about.
+    reason: str  #: Why (or why not) — hysteresis, cooldown, skew refusal, …
+    plan: ShardPlan | None = None  #: The sizing plan behind the decision, if any.
+
+    def describe(self) -> str:
+        """One-line human-readable form of this decision."""
+        verdict = f"reshard to {self.target}" if self.reshard else "hold"
+        return f"ReshardDecision[{verdict}: {self.reason}]"
 
 
 class ShardPlanner:
-    """Statistics-driven sizing and re-pricing of a sharded session.
+    """Statistics-driven sizing, re-pricing and live resizing of a sharded session.
 
     Parameters
     ----------
@@ -742,6 +1210,18 @@ class ShardPlanner:
     skew_threshold:
         max/mean per-shard ingest share above which the key distribution
         counts as skewed (hot keys concentrating on few shards).
+    window:
+        Length of one :meth:`should_reshard` estimation window in
+        stream-seconds (mirrors :class:`~repro.runtime.adaptive.AdaptivePolicy`).
+    hysteresis:
+        Consecutive estimation windows that must agree on a different shard
+        count before :meth:`should_reshard` says yes; one conforming window
+        resets the streak.
+    cooldown:
+        Minimum stream-seconds between two positive reshard decisions,
+        bounding the migration frequency under oscillating load.
+    min_arrivals:
+        Estimation windows backed by fewer arrivals are discarded as noise.
     """
 
     def __init__(
@@ -749,6 +1229,10 @@ class ShardPlanner:
         max_shards: int = 8,
         target_rate_per_shard: float = 200.0,
         skew_threshold: float = 2.0,
+        window: float = 2.0,
+        hysteresis: int = 2,
+        cooldown: float = 8.0,
+        min_arrivals: int = 64,
     ) -> None:
         if max_shards < 1:
             raise ShardingError(f"max_shards must be at least 1, got {max_shards}")
@@ -760,9 +1244,29 @@ class ShardPlanner:
             raise ShardingError(
                 f"skew_threshold must be at least 1.0, got {skew_threshold}"
             )
+        if window <= 0:
+            raise ShardingError(f"window must be positive, got {window}")
+        if hysteresis < 1:
+            raise ShardingError(f"hysteresis must be at least 1, got {hysteresis}")
+        if cooldown < 0:
+            raise ShardingError(f"cooldown must be non-negative, got {cooldown}")
         self.max_shards = int(max_shards)
         self.target_rate_per_shard = float(target_rate_per_shard)
         self.skew_threshold = float(skew_threshold)
+        self.window = float(window)
+        self.hysteresis = int(hysteresis)
+        self.cooldown = float(cooldown)
+        self.min_arrivals = int(min_arrivals)
+        #: Recent :class:`ReshardDecision` verdicts, newest last.  Bounded —
+        #: an always-on session polls this policy indefinitely, so an
+        #: unbounded log would be a slow leak.
+        self.decisions: deque[ReshardDecision] = deque(maxlen=256)
+        self._window_start: float | None = None
+        self._window_snapshots: Sequence[MetricsSnapshot] | None = None
+        self._window_shards: int | None = None
+        self._streak = 0
+        self._streak_target: int | None = None
+        self._last_reshard: float | None = None
 
     def recommend(self, statistics: StreamStatistics) -> int:
         """Shard count for a measured (or declared) global load."""
@@ -781,11 +1285,26 @@ class ShardPlanner:
         return max(ingest_totals) / mean
 
     def plan(self, engine: ShardedStreamEngine) -> ShardPlan:
-        """Size and skew-check a live sharded session from its merged view."""
+        """Size and skew-check a live sharded session from its merged view.
+
+        Uses the whole current shard generation as the estimation window
+        (everything since the last :meth:`ShardedStreamEngine.reshard`); the
+        returned plan's ``measured_shards`` records the modulus the skew
+        shares were measured under.
+        """
         snapshots = engine.shard_snapshots()  # one fetch feeds every view
         statistics = engine.merged_statistics(snapshots)
+        ingest_totals = engine.shard_ingest_totals(snapshots)
+        return self._assemble_plan(engine, statistics, ingest_totals)
+
+    def _assemble_plan(
+        self,
+        engine: ShardedStreamEngine,
+        statistics: StreamStatistics,
+        ingest_totals: Sequence[int],
+    ) -> ShardPlan:
         shards = self.recommend(statistics)
-        imbalance = self.imbalance(engine.shard_ingest_totals(snapshots))
+        imbalance = self.imbalance(ingest_totals)
         skewed = imbalance > self.skew_threshold
         total = sum(statistics.arrival_rates.values())
         if skewed:
@@ -806,7 +1325,153 @@ class ShardPlanner:
             imbalance=imbalance,
             skewed=skewed,
             reason=reason,
+            measured_shards=engine.shards,
         )
+
+    # -- the reshard policy ----------------------------------------------------
+    def should_reshard(self, engine: ShardedStreamEngine) -> ReshardDecision:
+        """Decide whether the session should change its shard count *now*.
+
+        Call periodically while ingesting (every K arrivals, or from an
+        external ticker).  The policy mirrors
+        :class:`~repro.runtime.adaptive.AdaptivePolicy`'s stability layers:
+
+        * estimates are *windowed* — rates come from per-shard snapshot
+          deltas over ``window`` stream-seconds, never from whole-session
+          averages (which would lag a drift indefinitely);
+        * a different recommended count must persist for ``hysteresis``
+          consecutive windows (one conforming window resets the streak);
+        * after a positive decision no further reshard fires for
+          ``cooldown`` stream-seconds;
+        * **hot-key skew refuses to grow**: when the busiest shard exceeds
+          ``skew_threshold`` times the mean ingest share, more shards
+          cannot split one key's traffic — the policy holds and says so
+          instead of thrashing.
+
+        A reshard performed by anyone (including :meth:`maybe_reshard`)
+        resets the estimation window: counters measured under two moduli
+        are never mixed.  The decision is recorded in :attr:`decisions`;
+        acting on it is the caller's job (or use :meth:`maybe_reshard`).
+        """
+        if self._window_snapshots is None or self._window_shards != engine.shards:
+            # First observation of this shard generation: open a window.
+            # (The one snapshot fetch per window boundary is the only shard
+            # I/O this policy performs — mid-window polls below read the
+            # coordinator's clock and return without flushing anything.)
+            snapshots = engine.shard_snapshots()
+            self._window_start = max(
+                (s.get("time.last", 0.0) for s in snapshots),
+                default=engine.stream_clock,
+            )
+            self._window_snapshots = snapshots
+            self._window_shards = engine.shards
+            return self._decide(False, engine.shards, "opening an estimation window")
+        assert self._window_start is not None
+        if engine.stream_clock - self._window_start < self.window:
+            return self._decide(
+                False, engine.shards, "estimation window still open"
+            )
+        snapshots = engine.shard_snapshots()
+        now = max(
+            (s.get("time.last", 0.0) for s in snapshots),
+            default=engine.stream_clock,
+        )
+        pairs = list(zip(self._window_snapshots, snapshots))
+        windows = [after.diff(before) for before, after in pairs]
+        arrivals = sum(w.get("ingested.total", 0.0) for w in windows)
+        self._window_start = now
+        self._window_snapshots = snapshots
+        if arrivals < self.min_arrivals:
+            return self._decide(
+                False,
+                engine.shards,
+                f"window too thin ({arrivals:.0f} arrivals < {self.min_arrivals})",
+            )
+        statistics = StreamStatistics.from_shard_windows(
+            pairs,
+            left_stream=engine.left_stream,
+            right_stream=engine.right_stream,
+        )
+        ingest_totals = [int(w.get("ingested.total", 0.0)) for w in windows]
+        plan = self._assemble_plan(engine, statistics, ingest_totals)
+        if plan.shards == engine.shards:
+            self._streak = 0
+            self._streak_target = None
+            return self._decide(False, engine.shards, plan.reason, plan)
+        if plan.shards > engine.shards and not engine.partitionable:
+            # A non-equi or count-window session legally runs at one shard
+            # but cannot be partitioned; emitting a grow decision would
+            # guarantee a ShardingError when applied.
+            self._streak = 0
+            self._streak_target = None
+            return self._decide(
+                False,
+                engine.shards,
+                "holding: the session is not partitionable (no equi-key or "
+                "count windows), more shards cannot be built",
+                plan,
+            )
+        if plan.skewed and plan.shards > engine.shards:
+            # More shards cannot split one key: every tuple of the hot key
+            # still hashes to a single shard under any modulus.
+            self._streak = 0
+            self._streak_target = None
+            return self._decide(
+                False,
+                engine.shards,
+                f"refusing to grow under hot-key skew — {plan.reason}",
+                plan,
+            )
+        if self._streak_target == plan.shards:
+            self._streak += 1
+        else:
+            self._streak = 1
+            self._streak_target = plan.shards
+        if self._streak < self.hysteresis:
+            return self._decide(
+                False,
+                plan.shards,
+                f"hysteresis {self._streak}/{self.hysteresis}: {plan.reason}",
+                plan,
+            )
+        if (
+            self._last_reshard is not None
+            and now - self._last_reshard < self.cooldown
+        ):
+            return self._decide(
+                False,
+                plan.shards,
+                f"cooling down ({now - self._last_reshard:.1f}s of "
+                f"{self.cooldown:g}s): {plan.reason}",
+                plan,
+            )
+        self._streak = 0
+        self._streak_target = None
+        self._last_reshard = now
+        return self._decide(True, plan.shards, plan.reason, plan)
+
+    def _decide(
+        self,
+        reshard: bool,
+        target: int,
+        reason: str,
+        plan: ShardPlan | None = None,
+    ) -> ReshardDecision:
+        decision = ReshardDecision(reshard=reshard, target=target, reason=reason, plan=plan)
+        self.decisions.append(decision)
+        return decision
+
+    def maybe_reshard(self, engine: ShardedStreamEngine) -> ReshardEvent | None:
+        """Run :meth:`should_reshard` and apply a positive decision.
+
+        Returns the :class:`ReshardEvent` when the session was resharded,
+        ``None`` when the policy held.  This is the whole auto-resizing
+        loop: call it periodically while ingesting.
+        """
+        decision = self.should_reshard(engine)
+        if not decision.reshard:
+            return None
+        return engine.reshard(decision.target, reason=decision.reason)
 
     def rebalance(
         self,

@@ -213,8 +213,53 @@ class TestRuntimeCommand:
         assert "3 serial shard(s)" in out
         assert "ShardedStreamEngine[3x serial" in out
         assert "aggregated across shards" in out
-        assert "per-shard arrivals:" in out
+        # The skew shares must state the modulus they were measured under
+        # (ambiguous after any reshard otherwise).
+        assert "per-shard arrivals (measured under modulus 3" in out
+        assert "measured under modulus 3]" in out
         assert "ShardPlan[" in out
+
+    def test_runtime_reshard_once_mid_stream(self, capsys):
+        out = run_cli(
+            capsys,
+            "runtime",
+            "--duration",
+            "10",
+            "--rate",
+            "20",
+            "--shards",
+            "2",
+            "--reshard",
+            "4",
+            "--stats",
+        )
+        assert "reshard 2->4" in out
+        assert "reshard history:" in out
+        assert "operator request (--reshard)" in out
+        assert "per-shard arrivals (measured under modulus 4" in out
+
+    def test_runtime_reshard_auto_resizes_the_session(self, capsys):
+        out = run_cli(
+            capsys,
+            "runtime",
+            "--duration",
+            "12",
+            "--rate",
+            "30",
+            "--reshard",
+            "auto",
+            "--stats",
+        )
+        # --reshard implies the sharded session even with --shards 1, and
+        # the constant-rate demo overshoots one shard's target.
+        assert "1 serial shard(s)" in out
+        assert "reshard 1->" in out
+
+    def test_runtime_reshard_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            main(["runtime", "--reshard", "bogus", "--duration", "4"])
+        with pytest.raises(SystemExit):
+            main(["runtime", "--reshard", "0", "--duration", "4"])
 
     def test_runtime_sharded_rejects_count_windows(self):
         with pytest.raises(SystemExit):

@@ -27,7 +27,7 @@ for real (scenarios whose weakest predicate is non-trivial shed state;
 see ``test_pushed_filters_do_drop_state``).
 
 The suite runs 220 scenarios (140 time-window, 80 count-window), seeded and
-deterministic, plus 60 sharded scenarios (see below).
+deterministic, plus 60 sharded and 40 resharded scenarios (see below).
 
 Sharded family
 --------------
@@ -42,6 +42,19 @@ lazy, and lazier still per shard (a shard only purges when one of its own
 keys arrives).  Under the umbrella, retained history is complete on both
 sides, so both engines equal the brute-force answer and hence each other;
 without it they would differ exactly by purge-timing artifacts.
+
+Resharded family
+----------------
+The live-reshard primitive (:meth:`ShardedStreamEngine.reshard`) is fuzzed
+the same way: each scenario interleaves the add/remove schedule with a
+mid-stream reshard schedule containing at least one *grow* and one *shrink*
+(to a target drawn from 1-5 shards, 1 being the degenerate single engine),
+and every query's delivered pairs — including results delivered *before* a
+reshard, which cross the generation change through the carryover view —
+must equal the never-resharded single engine's.  The umbrella discipline is
+load-bearing here for a third reason: repartitioning merges donor shards at
+*different* lazy-purge progress, so retention after a reshard is exactly as
+lazy as the laziest donor.
 """
 
 from __future__ import annotations
@@ -63,6 +76,7 @@ from repro.streams.tuples import StreamTuple, make_tuple
 TIME_SCENARIOS = 140
 COUNT_SCENARIOS = 80
 SHARDED_SCENARIOS = 60
+RESHARDED_SCENARIOS = 40
 
 TIME_WINDOWS = (1.0, 1.5, 2.0, 3.0, 4.0)
 COUNT_WINDOWS = (2, 3, 5, 8, 12)
@@ -362,6 +376,120 @@ def run_sharded_scenario(seed: int) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Resharded scenarios: mid-stream grow/shrink ≡ never-resharded single engine
+# ---------------------------------------------------------------------------
+def draw_reshard_schedule(
+    rng: random.Random, start_shards: int
+) -> list[tuple[int, int]]:
+    """(arrival index, target N) pairs with at least one grow and one shrink."""
+    points = sorted(rng.sample(range(10, ARRIVALS - 10), rng.randint(2, 3)))
+    grow = rng.randint(start_shards + 1, 5)
+    targets = [grow, rng.randint(1, grow - 1)]
+    while len(targets) < len(points):
+        targets.append(rng.randint(1, 5))
+    return list(zip(points, targets))
+
+
+def run_resharded_scenario(seed: int) -> None:
+    rng = random.Random(seed)
+    domain = rng.choice((3, 5, 8, 16))
+    condition = EquiJoinCondition("join_key", "join_key", key_domain=domain)
+    tuples = make_stream(rng, domain)
+
+    query_count = rng.randint(2, 4)
+    satellite_windows = [rng.choice(TIME_WINDOWS) for _ in range(query_count)]
+    left_filters = [draw_filter(rng) for _ in range(query_count)]
+    right_filters = [draw_filter(rng) for _ in range(query_count)]
+    schedule = draw_schedule(rng, query_count)
+    umbrella_window = max(max(satellite_windows), TIME_WINDOWS[-1])
+    umbrella_left = weakest(left_filters)
+    umbrella_right = weakest(right_filters)
+
+    start_shards = rng.choice((1, 2, 3, 4))
+    reshard_schedule = draw_reshard_schedule(rng, start_shards)
+    reshards = dict(reshard_schedule)
+    engines = {
+        "single": StreamEngine(
+            condition,
+            batch_size=rng.choice(BATCH_SIZES),
+            probe=rng.choice(("nested_loop", "hash", "auto")),
+        ),
+        "resharded": ShardedStreamEngine(
+            condition,
+            shards=start_shards,
+            batch_size=rng.choice(BATCH_SIZES),
+            probe=rng.choice(("nested_loop", "hash", "auto")),
+        ),
+    }
+    admissions: dict[int, list[int]] = {}
+    removals: dict[int, list[int]] = {}
+    for qi, (admit, remove) in enumerate(schedule):
+        admissions.setdefault(admit, []).append(qi)
+        if remove < FOREVER:
+            removals.setdefault(remove, []).append(qi)
+
+    delivered: dict[str, dict[str, list]] = {name: {} for name in engines}
+    for engine in engines.values():
+        engine.add_query(
+            "umbrella",
+            umbrella_window,
+            left_filter=umbrella_left,
+            right_filter=umbrella_right,
+        )
+    sharded = engines["resharded"]
+    for index, tup in enumerate(tuples):
+        if index in reshards:
+            sharded.reshard(reshards[index])
+        for qi in removals.get(index, ()):
+            for name, engine in engines.items():
+                delivered[name][f"Q{qi}"] = engine.remove_query(f"Q{qi}")
+        for qi in admissions.get(index, ()):
+            for engine in engines.values():
+                engine.add_query(
+                    f"Q{qi}",
+                    satellite_windows[qi],
+                    left_filter=left_filters[qi],
+                    right_filter=right_filters[qi],
+                )
+        for engine in engines.values():
+            engine.process(tup)
+    for name, engine in engines.items():
+        engine.flush()
+        delivered[name]["umbrella"] = engine.results("umbrella")
+        for qi, (admit, remove) in enumerate(schedule):
+            if remove >= FOREVER:
+                delivered[name][f"Q{qi}"] = engine.results(f"Q{qi}")
+
+    assert sharded.shards == reshard_schedule[-1][1]
+    effective = 0  # a target equal to the current count is an unrecorded no-op
+    current = start_shards
+    for _, n in reshard_schedule:
+        effective += n != current
+        current = n
+    assert len(sharded.reshard_events) == effective
+    assert sharded.states_are_disjoint(), f"seed {seed}: overlapping shard slices"
+    assert sharded.shard_boundaries() == (
+        [sharded.boundaries] * sharded.shards
+    ), f"seed {seed}: shards diverged"
+    label = (
+        f"seed {seed} [resharded {start_shards}"
+        f"->{'->'.join(str(n) for _, n in reshard_schedule)}] domain={domain}"
+    )
+    for query_name, single_results in delivered["single"].items():
+        expected = [(j.left.seqno, j.right.seqno) for j in single_results]
+        got = [
+            (j.left.seqno, j.right.seqno) for j in delivered["resharded"][query_name]
+        ]
+        assert len(got) == len(set(got)), f"{label}: {query_name} duplicates"
+        assert sorted(got) == sorted(expected), (
+            f"{label}: {query_name} delivered {len(got)} pairs vs "
+            f"{len(expected)} unresharded; "
+            f"missing={sorted(set(expected) - set(got))[:5]} "
+            f"extra={sorted(set(got) - set(expected))[:5]}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # The suites: >= 200 seeded scenarios in total
 # ---------------------------------------------------------------------------
 @pytest.mark.parametrize("chunk", range(14))
@@ -382,12 +510,33 @@ def test_fuzz_sharded_sessions(chunk):
         run_sharded_scenario(seed)
 
 
+@pytest.mark.parametrize("chunk", range(4))
+def test_fuzz_resharded_sessions(chunk):
+    for seed in range(3000 + chunk * 10, 3000 + chunk * 10 + 10):
+        run_resharded_scenario(seed)
+
+
 def test_scenario_space_is_large_enough():
-    """The fuzz must cover >= 200 scenarios (acceptance gate of PR 2)."""
+    """The fuzz must cover >= 200 scenarios (acceptance gate of PR 2),
+    plus >= 40 mid-stream reshard scenarios (acceptance gate of PR 5)."""
     assert TIME_SCENARIOS + COUNT_SCENARIOS >= 200
     assert TIME_SCENARIOS == 14 * 10
     assert COUNT_SCENARIOS == 8 * 10
     assert SHARDED_SCENARIOS == 6 * 10
+    assert RESHARDED_SCENARIOS == 4 * 10 and RESHARDED_SCENARIOS >= 40
+
+
+def test_reshard_schedules_cover_grow_and_shrink():
+    """Every drawable reshard schedule contains a grow and a shrink."""
+    for seed in range(3000, 3000 + RESHARDED_SCENARIOS):
+        rng = random.Random(seed)
+        for start in (1, 2, 3, 4):
+            schedule = draw_reshard_schedule(rng, start)
+            counts = [start] + [n for _, n in schedule]
+            points = [i for i, _ in schedule]
+            assert points == sorted(points) and len(set(points)) == len(points)
+            assert any(b > a for a, b in zip(counts, counts[1:])), f"seed {seed}"
+            assert any(b < a for a, b in zip(counts, counts[1:])), f"seed {seed}"
 
 
 def test_pushed_filters_do_drop_state():
