@@ -27,7 +27,8 @@ from repro.engine.executor import execute_plan
 from repro.operators.join import SlidingWindowJoin
 from repro.query.predicates import EquiJoinCondition, selectivity_join
 from repro.query.workload import build_workload
-from repro.streams.generators import generate_join_workload
+from repro.runtime import StreamEngine
+from repro.streams.generators import equi_value_generator, generate_join_workload
 
 DATA = generate_join_workload(rate_a=60, rate_b=60, duration=6.0, seed=99)
 WORKLOAD = build_workload(
@@ -138,6 +139,68 @@ def _probe_hot_path_entry(rounds: int = 3) -> dict:
     }
 
 
+#: Workload for the columnar-vs-tuple comparison: an equi-join whose window
+#: state holds several hundred tuples, so the probe path dominates.
+COLUMNAR_DATA = generate_join_workload(
+    rate_a=250,
+    rate_b=250,
+    duration=6.0,
+    seed=5,
+    value_generator=equi_value_generator(200),
+)
+COLUMNAR_CONDITION = EquiJoinCondition("join_key", "join_key", key_domain=200)
+COLUMNAR_WINDOW = 4.0
+COLUMNAR_GATE = 2.0
+
+
+def _columnar_vs_tuple_entry(rounds: int = 3) -> dict:
+    """Single-thread columnar vs tuple-at-a-time hot path (PR 6).
+
+    Same engine, same batches, same query — only the batch representation
+    differs: struct-of-arrays numpy columns versus the per-tuple scalar
+    loop.  Outputs must match pair-for-pair (the exhaustive equivalence
+    property lives in ``tests/test_columnar_equivalence.py``); the entry
+    rides in ``BENCH_batching.json`` so both batching axes share one
+    trajectory file.
+    """
+    timings: dict[bool, float] = {}
+    outputs: dict[bool, list] = {}
+    for columnar in (False, True):
+        best = float("inf")
+        for _ in range(rounds):
+            engine = StreamEngine(
+                COLUMNAR_CONDITION,
+                batch_size=64,
+                probe="nested_loop",
+                columnar=columnar,
+            )
+            engine.add_query("Q", COLUMNAR_WINDOW)
+            start = time.perf_counter()
+            engine.process_many(COLUMNAR_DATA.tuples)
+            engine.flush()
+            best = min(best, time.perf_counter() - start)
+            outputs[columnar] = [
+                (j.left.seqno, j.right.seqno) for j in engine.results("Q")
+            ]
+        timings[columnar] = best
+    assert outputs[True] == outputs[False], (
+        "columnar batches changed the joined output"
+    )
+    arrivals = len(COLUMNAR_DATA.tuples)
+    return {
+        "arrivals": arrivals,
+        "window_seconds": COLUMNAR_WINDOW,
+        "equi_key_domain": 200,
+        "batch_size": 64,
+        "tuple_seconds": round(timings[False], 6),
+        "columnar_seconds": round(timings[True], 6),
+        "tuple_tuples_per_sec": round(arrivals / timings[False], 1),
+        "columnar_tuples_per_sec": round(arrivals / timings[True], 1),
+        "speedup_columnar_vs_tuple": round(timings[False] / timings[True], 3),
+        "gate": COLUMNAR_GATE,
+    }
+
+
 def test_throughput_batch_size_sweep(results_dir):
     """Sweep the executor batch size and record the perf trajectory.
 
@@ -180,10 +243,17 @@ def test_throughput_batch_size_sweep(results_dir):
         },
         "results": rows,
         "probe_hot_path": _probe_hot_path_entry(),
+        "columnar_hot_path": _columnar_vs_tuple_entry(),
     }
     path = record_run(results_dir, "batching", payload)
 
     assert all(row["outputs_identical_to_per_tuple"] for row in rows)
+    columnar_speedup = payload["columnar_hot_path"]["speedup_columnar_vs_tuple"]
+    columnar_gate = 1.5 if os.environ.get("CI") else COLUMNAR_GATE
+    assert columnar_speedup >= columnar_gate, (
+        f"the columnar hot path reached only {columnar_speedup:.2f}x the "
+        f"tuple-at-a-time throughput (gate {columnar_gate}x); see {path}"
+    )
     best_batched = max(
         row["speedup_vs_per_tuple"] for row in rows if row["batch_size"] >= 32
     )

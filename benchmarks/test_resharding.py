@@ -12,6 +12,12 @@ The gate requires the elastic session to reach ≥1.3× the static session's
 tuples/sec over the whole schedule, with the merged output identical
 pair-for-pair (the reshard must pay for itself *and* preserve the answer).
 The measured trajectory is appended to ``results/BENCH_resharding.json``.
+
+Both sessions run with ``columnar=False``: this benchmark isolates the
+*sharding* axis, whose serial-mode payoff is dividing per-candidate scalar
+probe work across shards.  The columnar probe path vectorises that work away
+(its scale-out story is ``BENCH_process_scaleout``, where shards are real
+processes), so measuring it here would compare two overhead-dominated loops.
 """
 
 from __future__ import annotations
@@ -87,7 +93,8 @@ def _run(elastic: bool, rounds: int = 3):
     events = []
     for _ in range(rounds):
         engine = ShardedStreamEngine(
-            CONDITION, shards=1, batch_size=BATCH_SIZE, probe="nested_loop"
+            CONDITION, shards=1, batch_size=BATCH_SIZE, probe="nested_loop",
+            columnar=False,
         )
         engine.add_query("Q", WINDOW)
         planner = _planner() if elastic else None
@@ -133,6 +140,7 @@ def test_resharding_beats_static_under_drift(results_dir):
             "equi_key_domain": KEY_DOMAIN,
             "batch_size": BATCH_SIZE,
             "probe": "nested_loop",
+            "columnar": False,
             "joined_pairs": len(static_out),
         },
         "results": [

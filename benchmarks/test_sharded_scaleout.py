@@ -12,6 +12,12 @@ appended to ``results/BENCH_sharding.json``.
 The workload is sized so each side's window state holds several hundred
 tuples (rate × window), which makes probing dominate routing/bookkeeping —
 the regime the ROADMAP's "as fast as the hardware allows" line cares about.
+
+All engines run with ``columnar=False``: the ~N algorithmic win this gate
+measures lives in per-candidate *scalar* probe work.  The columnar path
+vectorises that work into a handful of numpy calls whose cost barely depends
+on state size, so sharding it serially mostly re-measures call overhead (the
+columnar scale-out gate is ``BENCH_process_scaleout``, with real processes).
 """
 
 from __future__ import annotations
@@ -52,7 +58,9 @@ def _run_unsharded(rounds: int = 3) -> tuple[float, list[tuple[int, int]]]:
     best = float("inf")
     outputs = None
     for _ in range(rounds):
-        engine = StreamEngine(CONDITION, batch_size=BATCH_SIZE, probe="nested_loop")
+        engine = StreamEngine(
+            CONDITION, batch_size=BATCH_SIZE, probe="nested_loop", columnar=False
+        )
         engine.add_query("Q", WINDOW)
         start = time.perf_counter()
         engine.process_many(DATA.tuples)
@@ -67,7 +75,8 @@ def _run_sharded(shards: int, rounds: int = 3) -> tuple[float, list[tuple[int, i
     outputs = None
     for _ in range(rounds):
         engine = ShardedStreamEngine(
-            CONDITION, shards=shards, batch_size=BATCH_SIZE, probe="nested_loop"
+            CONDITION, shards=shards, batch_size=BATCH_SIZE, probe="nested_loop",
+            columnar=False,
         )
         engine.add_query("Q", WINDOW)
         start = time.perf_counter()
@@ -119,6 +128,7 @@ def test_sharded_scaleout_gate(results_dir):
             "equi_key_domain": KEY_DOMAIN,
             "batch_size": BATCH_SIZE,
             "probe": "nested_loop",
+            "columnar": False,
             "joined_pairs": len(base_out),
         },
         "results": rows,

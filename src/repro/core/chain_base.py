@@ -50,6 +50,7 @@ class SlicedChainBase:
         right_stream: str = "B",
         metrics: MetricsCollector | None = None,
         probe: str = "nested_loop",
+        columnar: bool | str = "auto",
     ) -> None:
         bounds = self._coerce_boundaries(boundaries)
         self.condition = condition
@@ -57,9 +58,21 @@ class SlicedChainBase:
         self.right_stream = right_stream
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.probe = probe
+        self.columnar = columnar
         self.joins: list = [
             self._make_join(start, end) for start, end in zip(bounds, bounds[1:])
         ]
+
+    def set_probe(self, probe: str) -> None:
+        """Switch every slice's probing strategy in place.
+
+        New slices created by later migrations inherit the new setting;
+        existing slices keep their resident state (see the joins'
+        ``set_probe``).
+        """
+        self.probe = probe
+        for join in self.joins:
+            join.set_probe(probe)
 
     # -- subclass hooks -------------------------------------------------------
     def _coerce_boundaries(self, boundaries: Sequence[float]) -> list:
@@ -144,7 +157,10 @@ class SlicedChainBase:
             if not batch:
                 break
             next_batch: list[Any] = []
-            for out_port, item in join.process_batch(batch, port):
+            # Punctuation construction is suppressed (the chain harness
+            # returns results directly instead of routing them through a
+            # union operator, so slice punctuations would be dropped here).
+            for out_port, item in join.process_batch(batch, port, False):
                 if out_port == "output":
                     results.append((index, item))
                 elif out_port == "next":

@@ -68,6 +68,7 @@ class CountSlicedJoinChain(SlicedChainBase):
             left_stream=self.left_stream,
             right_stream=self.right_stream,
             probe=self.probe,
+            columnar=self.columnar,
             name=f"count-slice[{start},{end})",
         )
         join.bind_metrics(self.metrics)

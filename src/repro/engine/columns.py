@@ -1,0 +1,275 @@
+"""Columnar (struct-of-arrays) blocks for the hot path.
+
+The sliced joins historically kept each slice's per-stream state as a deque
+of tuple objects and walked it attribute-lookup by attribute-lookup.  This
+module provides :class:`ColumnarState`: the same logical container laid out
+as parallel columns —
+
+* ``timestamps`` — a ``float64`` array, used by cross-purging.  Because the
+  state is timestamp-ordered, the purge predicate ``now - t >= end`` is
+  monotone in ``t`` and the purge cut can be found by binary search over the
+  column using the *exact* scalar expression the tuple-at-a-time path
+  evaluates, so purge decisions are bit-identical.
+* ``keys`` — a ``float64`` array of the join-key attribute, used by
+  vectorized probing (see ``match_mask`` in :mod:`repro.query.predicates`).
+  Only values whose Python comparison semantics are exactly representable in
+  a double go into the column (bools, ints with ``|v| <= 2**53``, floats);
+  the first value outside that set permanently invalidates the column and
+  probing falls back to per-tuple checks, so correctness never depends on
+  lossy conversions.
+* ``refs`` — the parallel Python list of the resident
+  :class:`~repro.streams.tuples.StreamTuple` payload references.  Columns
+  are an internal acceleration structure: everything that leaves the state
+  (purged tuples, join outputs, extracted keyed state) is materialized from
+  ``refs``, and state always crosses migration boundaries as plain tuple
+  lists (see ``docs/invariants.md``).
+
+The container is deque-compatible (``append``/``popleft``/``__getitem__``/
+iteration) so the per-tuple execution path and the keyed-state migration
+protocol work on it unchanged; the batched join path uses the columnar
+accessors (:meth:`purge_cut`, :meth:`take`, :meth:`columns`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["ColumnarState", "key_level", "INT_EXACT_MAX", "FLOAT_EXACT_MAX"]
+
+#: Integers up to this magnitude survive float64 *arithmetic* (modular
+#: matching adds two keys and reduces mod the domain) without rounding.
+INT_EXACT_MAX = 2**40
+#: Integers up to this magnitude are exactly representable in a float64,
+#: which is all equality probing needs.
+FLOAT_EXACT_MAX = 2**53
+
+#: Initial column capacity (entries).
+_MIN_CAPACITY = 16
+#: Compact the consumed prefix away once it is this long and at least half
+#: of the backing storage.
+_COMPACT_AT = 64
+
+_MISSING = object()
+
+
+def key_level(value: Any) -> int:
+    """Classify a join-key value for columnar storage.
+
+    Returns ``0`` when the value is an int/bool small enough for exact
+    float64 *arithmetic* (safe for modular matching), ``1`` when it is only
+    safe for exact float64 *equality* (floats, larger ints), and ``2`` when
+    it must not enter a float column at all (strings, huge ints, arbitrary
+    objects) — level 2 invalidates the key column and forces per-tuple
+    probing.
+    """
+    kind = type(value)
+    if kind is bool:
+        return 0
+    if kind is int:
+        if -INT_EXACT_MAX <= value <= INT_EXACT_MAX:
+            return 0
+        if -FLOAT_EXACT_MAX <= value <= FLOAT_EXACT_MAX:
+            return 1
+        return 2
+    if kind is float:
+        return 1
+    return 2
+
+
+class ColumnarState:
+    """A timestamp-ordered slice state stored as parallel columns.
+
+    Parameters
+    ----------
+    key_attribute:
+        Attribute to maintain as the key column, or ``None`` when the join
+        condition has no columnar form (the key column is skipped entirely
+        and probing uses the per-tuple fallback).
+    tuples:
+        Initial resident tuples, oldest first.
+    """
+
+    __slots__ = ("key_attribute", "_refs", "_ts", "_keys", "_head", "_key_level")
+
+    def __init__(self, key_attribute: str | None = None, tuples: Iterable[Any] = ()) -> None:
+        self.key_attribute = key_attribute
+        self.load(tuples)
+
+    # -- bulk (re)build -------------------------------------------------------
+    def load(self, tuples: Iterable[Any]) -> None:
+        """Replace the resident set, rebuilding every column in one pass."""
+        refs = list(tuples)
+        self._refs = refs
+        self._head = 0
+        n = len(refs)
+        capacity = max(_MIN_CAPACITY, n)
+        ts = np.empty(capacity, dtype=np.float64)
+        if n:
+            ts[:n] = [ref.timestamp for ref in refs]
+        self._ts = ts
+        self._keys = None
+        self._key_level = 0
+        attribute = self.key_attribute
+        if attribute is None:
+            return
+        level = 0
+        values: list[float] = []
+        for ref in refs:
+            value = ref.values.get(attribute, _MISSING)
+            value_level = key_level(value)
+            if value_level > level:
+                level = value_level
+                if level >= 2:
+                    return  # column stays invalid (self._keys is None)
+            values.append(float(value))
+        keys = np.empty(capacity, dtype=np.float64)
+        if n:
+            keys[:n] = values
+        self._keys = keys
+        self._key_level = level
+
+    # -- deque-compatible surface --------------------------------------------
+    def __len__(self) -> int:
+        return len(self._refs) - self._head
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._refs[self._head :])
+
+    def __getitem__(self, index: int) -> Any:
+        if index < 0:
+            index += len(self)
+        position = self._head + index
+        if position < self._head or position >= len(self._refs):
+            raise IndexError("state index out of range")
+        return self._refs[position]
+
+    def append(self, ref: Any) -> None:
+        refs = self._refs
+        n = len(refs)
+        if n == self._ts.shape[0]:
+            self._ensure_room()
+            refs = self._refs
+            n = len(refs)
+        refs.append(ref)
+        self._ts[n] = ref.timestamp
+        keys = self._keys
+        if keys is not None:
+            value = ref.values.get(self.key_attribute, _MISSING)
+            value_level = key_level(value)
+            if value_level >= 2:
+                self._keys = None
+            else:
+                if value_level > self._key_level:
+                    self._key_level = value_level
+                keys[n] = value
+
+    def popleft(self) -> Any:
+        head = self._head
+        refs = self._refs
+        if head >= len(refs):
+            raise IndexError("pop from an empty state")
+        ref = refs[head]
+        refs[head] = None
+        self._head = head + 1
+        self._maybe_compact()
+        return ref
+
+    # -- columnar accessors ---------------------------------------------------
+    def purge_cut(self, now: float, end: float) -> int:
+        """Number of head tuples with ``now - t >= end``.
+
+        Evaluates the *exact* scalar expression of the tuple-at-a-time purge
+        loop at each probe point; the predicate is monotone in ``t`` over the
+        timestamp-ordered column, so a binary search finds the same cut the
+        linear scan would.
+        """
+        head = self._head
+        n = len(self._refs)
+        if head >= n:
+            return 0
+        ts = self._ts
+        if n - head <= 32:
+            i = head
+            while i < n and now - ts[i] >= end:
+                i += 1
+            return i - head
+        lo, hi = head, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if now - ts[mid] >= end:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - head
+
+    def take(self, count: int) -> list[Any]:
+        """Remove and return the ``count`` oldest resident tuples."""
+        if count <= 0:
+            return []
+        head = self._head
+        refs = self._refs
+        taken = refs[head : head + count]
+        for i in range(head, head + count):
+            refs[i] = None
+        self._head = head + count
+        self._maybe_compact()
+        return taken
+
+    def columns(self) -> tuple[list[Any], int, Any, Any, bool]:
+        """Live-region views: ``(refs, offset, timestamps, keys, int_keys)``.
+
+        ``refs[offset + i]`` is the tuple behind row ``i`` of the views;
+        ``keys`` is ``None`` when the key column is absent or was invalidated,
+        and ``int_keys`` reports whether every key is arithmetic-safe
+        (:data:`INT_EXACT_MAX`), which modular matching requires.
+        """
+        head = self._head
+        n = len(self._refs)
+        keys = self._keys
+        return (
+            self._refs,
+            head,
+            self._ts[head:n],
+            keys[head:n] if keys is not None else None,
+            self._key_level == 0,
+        )
+
+    # -- storage management ---------------------------------------------------
+    def _maybe_compact(self) -> None:
+        head = self._head
+        if head >= _COMPACT_AT and head * 2 >= len(self._refs):
+            self._compact()
+
+    def _compact(self) -> None:
+        head = self._head
+        if not head:
+            return
+        n = len(self._refs)
+        live = n - head
+        del self._refs[:head]
+        self._ts[:live] = self._ts[head:n].copy()
+        if self._keys is not None:
+            self._keys[:live] = self._keys[head:n].copy()
+        self._head = 0
+
+    def _ensure_room(self) -> None:
+        n = len(self._refs)
+        if n < self._ts.shape[0]:
+            return
+        head = self._head
+        if head and head * 2 >= n:
+            self._compact()
+            return
+        capacity = max(_MIN_CAPACITY, 2 * self._ts.shape[0])
+        ts = np.empty(capacity, dtype=np.float64)
+        ts[:n] = self._ts[:n]
+        self._ts = ts
+        if self._keys is not None:
+            keys = np.empty(capacity, dtype=np.float64)
+            keys[:n] = self._keys[:n]
+            self._keys = keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<ColumnarState key={self.key_attribute!r} size={len(self)}>"

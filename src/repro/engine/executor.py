@@ -305,9 +305,16 @@ class ImmediateExecutor:
             # Fast path: the whole plan is batchable (e.g. a state-slice
             # chain, whose head accepts mixed-stream arrival batches), so
             # arrivals buffer straight into the sweep and the per-tuple
-            # clock/ingest bookkeeping is hoisted out of the loop.
+            # clock/ingest bookkeeping is hoisted out of the loop (entry
+            # lookups are memoized per stream — a batch holds two streams).
+            entries_by_stream: dict[str, list[tuple[str, str, str]]] = {}
             for tag, tup in enumerate(batch):
-                for operator_name, _port, canon_port in self._entries_for(tup.stream):
+                entries = entries_by_stream.get(tup.stream)
+                if entries is None:
+                    entries = entries_by_stream[tup.stream] = self._entries_for(
+                        tup.stream
+                    )
+                for operator_name, _port, canon_port in entries:
                     buffers[operator_name].append((tag, canon_port, tup))
             observe(batch[-1].timestamp)
             metrics.record_ingest(len(batch))

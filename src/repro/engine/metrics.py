@@ -71,6 +71,7 @@ class MetricsSnapshot(dict):
         "ingested.",
         "observations.",
         "reshard.",
+        "respawn.",
     )
     _COUNTER_KEYS = ("cpu_cost",)
 
@@ -175,6 +176,8 @@ class MetricsCollector:
         self.reshards = 0
         #: Resident tuples moved between shards across all reshard events.
         self.reshard_tuples_moved = 0
+        #: Crashed shard workers respawned (state recovered) by this session.
+        self.respawns = 0
 
     # -- CPU accounting -----------------------------------------------------
     def count(self, category: str, amount: int = 1) -> None:
@@ -222,6 +225,14 @@ class MetricsCollector:
         """
         self.reshards += 1
         self.reshard_tuples_moved += int(tuples_moved)
+
+    def record_respawn(self) -> None:
+        """Record one crashed-worker respawn (sharded process mode).
+
+        Snapshots expose the counter as ``respawn.count`` so callers can see
+        how often a session paid the state-recovery price.
+        """
+        self.respawns += 1
 
     # -- memory accounting ----------------------------------------------------
     def sample_memory(self, timestamp: float, tuples_in_state: int) -> None:
@@ -302,6 +313,7 @@ class MetricsCollector:
         self.tuples_ingested += other.tuples_ingested
         self.reshards += other.reshards
         self.reshard_tuples_moved += other.reshard_tuples_moved
+        self.respawns += other.respawns
         self.observe_time(other.last_timestamp)
 
     def snapshot(self) -> MetricsSnapshot:
@@ -332,6 +344,8 @@ class MetricsCollector:
         if self.reshards:
             data["reshard.count"] = float(self.reshards)
             data["reshard.moved"] = float(self.reshard_tuples_moved)
+        if self.respawns:
+            data["respawn.count"] = float(self.respawns)
         data["memory.average"] = self.average_state_memory()
         data["memory.max"] = float(self.max_state_memory())
         data["cpu_cost"] = self.cpu_cost()

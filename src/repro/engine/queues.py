@@ -34,8 +34,13 @@ class OperatorQueue:
             self.max_size = len(self._items)
 
     def extend(self, items: Iterable[Any]) -> None:
-        for item in items:
-            self.push(item)
+        added = items if isinstance(items, (list, tuple)) else list(items)
+        if not added:
+            return
+        self._items.extend(added)
+        self.total_enqueued += len(added)
+        if len(self._items) > self.max_size:
+            self.max_size = len(self._items)
 
     def pop(self) -> Any:
         return self._items.popleft()

@@ -36,10 +36,13 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Iterable, Sequence
 
+import numpy as np
+
+from repro.engine.columns import ColumnarState
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
-from repro.operators.sliced_join import KeyedStateMixin, resolve_probe
+from repro.operators.sliced_join import KeyedStateMixin, resolve_columnar, resolve_probe
 from repro.query.predicates import (
     EquiJoinCondition,
     JoinCondition,
@@ -49,6 +52,8 @@ from repro.query.predicates import (
 from repro.streams.tuples import FEMALE, JoinedTuple, Punctuation, RefTuple, StreamTuple
 
 __all__ = ["CountWindowJoin", "CountSlicedBinaryJoin", "CountTap", "SharedCountJoin"]
+
+_ABSENT = object()
 
 
 class CountWindowJoin(Operator):
@@ -298,6 +303,7 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
         left_stream: str = "A",
         right_stream: str = "B",
         probe: str = "nested_loop",
+        columnar: bool | str = "auto",
         name: str | None = None,
     ) -> None:
         super().__init__(name)
@@ -311,10 +317,18 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
         self.left_stream = left_stream
         self.right_stream = right_stream
         self.probe = resolve_probe(probe, condition)
-        self._states: dict[str, Deque[StreamTuple]] = {
-            left_stream: deque(),
-            right_stream: deque(),
+        self.columnar = resolve_columnar(columnar)
+        self._configure_probe()
+        self._states: dict[str, Any] = {
+            left_stream: self._new_state(left_stream),
+            right_stream: self._new_state(right_stream),
         }
+
+    def _configure_probe(self) -> None:
+        """(Re)derive the probe-dependent structures from ``self.probe``."""
+        left_stream = self.left_stream
+        right_stream = self.right_stream
+        condition = self.condition
         if self.probe == "hash":
             assert isinstance(condition, EquiJoinCondition)
             self._key_attrs: dict[str, str] = {
@@ -325,8 +339,41 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
                 left_stream: defaultdict(deque),
                 right_stream: defaultdict(deque),
             }
+            # The hash index supplies candidates; no key column is needed.
+            self._column_attrs: dict[str, str | None] = {
+                left_stream: None,
+                right_stream: None,
+            }
         else:
             self._indexes = None
+            attributes = condition.columnar_attributes
+            if attributes is not None:
+                self._column_attrs = {
+                    left_stream: attributes[0],
+                    right_stream: attributes[1],
+                }
+            else:
+                self._column_attrs = {left_stream: None, right_stream: None}
+
+    def _new_state(self, stream: str, tuples: Iterable[StreamTuple] = ()) -> Any:
+        if self.columnar:
+            return ColumnarState(self._column_attrs[stream], tuples)
+        return deque(tuples)
+
+    def set_probe(self, probe: str) -> None:
+        """Switch the probing strategy in place, rebuilding derived state.
+
+        Used by per-shard probe tuning: the slice keeps its resident tuples
+        and reloads them so the hash index / key columns match the new
+        strategy.
+        """
+        resolved = resolve_probe(probe, self.condition)
+        if resolved == self.probe:
+            return
+        self.probe = resolved
+        self._configure_probe()
+        for stream in list(self._states):
+            self.load_state(stream, list(self._states[stream]))
 
     # -- introspection --------------------------------------------------------
     @property
@@ -350,7 +397,7 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
         slices eagerly; the hash index, when enabled, is rebuilt here so
         probing stays correct across migrations.
         """
-        self._states[stream] = deque(tuples)
+        self._states[stream] = self._new_state(stream, tuples)
         if self._indexes is not None:
             index: dict[Any, Deque[StreamTuple]] = defaultdict(deque)
             attribute = self._key_attrs[stream]
@@ -400,7 +447,12 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
             return self._process_female(item.base)
         raise PlanError(f"unexpected port {port!r} for {self.name!r}")
 
-    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+    def process_batch(
+        self,
+        items: Iterable[Any],
+        port: str,
+        emit_punctuations: bool = True,
+    ) -> list[Emission]:
         batch = list(items)
         chain_port = port == "chain"
         if not chain_port and port not in ("left", "right"):
@@ -408,10 +460,16 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
         states = self._states
         indexes = self._indexes
         key_attrs = self._key_attrs if indexes is not None else None
+        columnar = self.columnar and indexes is None
+        column_attrs = self._column_attrs
+        condition = self.condition
+        all_match = condition.columnar_all_match
+        match_mask = condition.match_mask
+        nonzero = np.nonzero
         left_stream = self.left_stream
         right_stream = self.right_stream
-        bind_left = self.condition.bind_left
-        bind_right = self.condition.bind_right
+        bind_left = condition.bind_left
+        bind_right = condition.bind_right
         name = self.name
         joined_tuple = JoinedTuple
         emissions: list[Emission] = []
@@ -431,6 +489,46 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
                     f"join {name!r} joins streams "
                     f"{left_stream!r}/{right_stream!r}, got {stream!r}"
                 )
+            if columnar:
+                refs, offset, _ts, key_col, int_keys = states[opposite].columns()
+                remaining = len(refs) - offset
+                probe_count += remaining
+                if remaining:
+                    sel = None
+                    vector = all_match
+                    if not vector and key_col is not None:
+                        probe_key = tup.values.get(column_attrs[stream], _ABSENT)
+                        if probe_key is not _ABSENT:
+                            sel = match_mask(probe_key, key_col, int_keys)
+                            vector = sel is not None
+                    if vector:
+                        if sel is None:
+                            rows: Any = range(offset, offset + remaining)
+                        else:
+                            hits = nonzero(sel)[0]
+                            rows = (hits + offset if offset else hits).tolist()
+                        if stream == left_stream:
+                            for row in rows:
+                                append(("output", joined_tuple(tup, refs[row])))
+                        else:
+                            for row in rows:
+                                append(("output", joined_tuple(refs[row], tup)))
+                    elif stream == left_stream:
+                        check = bind_left(tup)
+                        for row in range(offset, offset + remaining):
+                            candidate = refs[row]
+                            if check(candidate):
+                                append(("output", joined_tuple(tup, candidate)))
+                    else:
+                        check = bind_right(tup)
+                        for row in range(offset, offset + remaining):
+                            candidate = refs[row]
+                            if check(candidate):
+                                append(("output", joined_tuple(candidate, tup)))
+                append(("next", RefTuple(tup, "male")))
+                if emit_punctuations:
+                    append(("punct", Punctuation(tup.timestamp, source=name)))
+                return
             if indexes is not None:
                 candidates = indexes[opposite].get(tup[key_attrs[stream]], ())
             else:
@@ -449,7 +547,8 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
                         if check(candidate):
                             append(("output", joined_tuple(candidate, tup)))
             append(("next", RefTuple(tup, "male")))
-            append(("punct", Punctuation(tup.timestamp, source=name)))
+            if emit_punctuations:
+                append(("punct", Punctuation(tup.timestamp, source=name)))
 
         def run_female(tup: StreamTuple) -> None:
             nonlocal purge_count

@@ -17,7 +17,10 @@ class Projection(Operator):
     the memory/CPU trade-off studied by the paper, but downstream consumers
     of the library need it to shape final results.  Joined tuples are
     projected on their combined payload (attribute names prefixed with the
-    stream name, as produced by :class:`~repro.streams.tuples.JoinedTuple`).
+    stream name, as produced by :class:`~repro.streams.tuples.JoinedTuple`),
+    but without materializing that combined dict: the requested names are
+    split into ``(stream prefix, attribute)`` once, and each joined tuple is
+    probed directly on its two source payloads.
     """
 
     input_ports = ("in",)
@@ -26,20 +29,36 @@ class Projection(Operator):
     def __init__(self, attributes: Sequence[str], name: str | None = None) -> None:
         super().__init__(name)
         self.attributes = tuple(attributes)
+        # "A.x" -> ("A.x", "A", "x"); an undotted name can never appear in a
+        # combined payload (whose keys are always "<stream>.<attr>").
+        self._split = tuple(
+            (attribute, *attribute.split(".", 1))
+            for attribute in self.attributes
+            if "." in attribute
+        )
+
+    def _project_joined(self, item: JoinedTuple) -> StreamTuple:
+        left, right = item.left, item.right
+        projected: dict[str, Any] = {}
+        for name, prefix, attribute in self._split:
+            # On a self-join the right side wins, matching the insertion
+            # order of JoinedTuple.values (left first, right overwrites).
+            if prefix == right.stream and attribute in right.values:
+                projected[name] = right.values[attribute]
+            elif prefix == left.stream and attribute in left.values:
+                projected[name] = left.values[attribute]
+        return StreamTuple(
+            stream=f"{left.stream}x{right.stream}",
+            timestamp=item.timestamp,
+            values=projected,
+        )
 
     def process(self, item: Any, port: str) -> list[Emission]:
         self.metrics.record_invocation(self.name)
         if isinstance(item, Punctuation):
             return [("out", item)]
         if isinstance(item, JoinedTuple):
-            values = item.values
-            projected = {name: values[name] for name in self.attributes if name in values}
-            out = StreamTuple(
-                stream=f"{item.left.stream}x{item.right.stream}",
-                timestamp=item.timestamp,
-                values=projected,
-            )
-            return [("out", out)]
+            return [("out", self._project_joined(item))]
         projected = {
             name: item.values[name] for name in self.attributes if name in item.values
         }
@@ -54,18 +73,7 @@ class Projection(Operator):
             if isinstance(item, Punctuation):
                 append(("out", item))
             elif isinstance(item, JoinedTuple):
-                values = item.values
-                projected = {name: values[name] for name in attributes if name in values}
-                append(
-                    (
-                        "out",
-                        StreamTuple(
-                            stream=f"{item.left.stream}x{item.right.stream}",
-                            timestamp=item.timestamp,
-                            values=projected,
-                        ),
-                    )
-                )
+                append(("out", self._project_joined(item)))
             else:
                 values = item.values
                 projected = {name: values[name] for name in attributes if name in values}

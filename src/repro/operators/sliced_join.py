@@ -28,6 +28,9 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Any, Deque, Iterable
 
+import numpy as np
+
+from repro.engine.columns import ColumnarState
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
@@ -42,7 +45,31 @@ from repro.streams.tuples import (
     StreamTuple,
 )
 
-__all__ = ["KeyedStateMixin", "SlicedOneWayJoin", "SlicedBinaryJoin", "resolve_probe"]
+__all__ = [
+    "KeyedStateMixin",
+    "SlicedOneWayJoin",
+    "SlicedBinaryJoin",
+    "resolve_probe",
+    "resolve_columnar",
+]
+
+_ABSENT = object()
+
+
+def resolve_columnar(columnar: bool | str) -> bool:
+    """Resolve a ``columnar`` option (``True``/``False``/``"auto"``).
+
+    ``"auto"`` enables the columnar state layout: exactness never depends on
+    it (non-columnizable keys and conditions fall back to per-tuple checks
+    row set by row set), so the only reason to disable it is to exercise the
+    tuple-at-a-time reference path, which the differential suites do
+    explicitly with ``columnar=False``.
+    """
+    if columnar == "auto":
+        return True
+    if not isinstance(columnar, bool):
+        raise PlanError(f"unknown columnar option {columnar!r}")
+    return columnar
 
 
 def resolve_probe(probe: str, condition: JoinCondition) -> str:
@@ -145,6 +172,7 @@ class SlicedOneWayJoin(Operator):
         window_end: float,
         condition: JoinCondition,
         enforce_bounds: bool = False,
+        columnar: bool | str = "auto",
         name: str | None = None,
     ) -> None:
         super().__init__(name)
@@ -154,7 +182,17 @@ class SlicedOneWayJoin(Operator):
         #: candidate pair.  Inside a well-formed chain this is redundant
         #: (Lemma 1) and disabled so the CPU accounting matches the paper.
         self.enforce_bounds = enforce_bounds
-        self._state: Deque[StreamTuple] = deque()
+        self.columnar = resolve_columnar(columnar)
+        if self.columnar:
+            attributes = condition.columnar_attributes
+            # The state holds left-stream (A) tuples, so the key column is
+            # built on the left attribute; the probing B tuple supplies the
+            # right attribute's value.
+            self._state: Deque[StreamTuple] | ColumnarState = ColumnarState(
+                attributes[0] if attributes is not None else None
+            )
+        else:
+            self._state = deque()
 
     # -- state introspection ----------------------------------------------------
     def _declares_state(self) -> bool:
@@ -212,7 +250,13 @@ class SlicedOneWayJoin(Operator):
         if port != "right":
             raise PlanError(f"unexpected port {port!r} for {self.name!r}")
         state = self._state
-        popleft = state.popleft
+        columnar = self.columnar
+        condition = self.condition
+        all_match = condition.columnar_all_match
+        match_mask = condition.match_mask
+        attributes = condition.columnar_attributes
+        probe_attribute = attributes[1] if attributes is not None else None
+        lower = self.slice.start
         end = self.slice.end
         enforce = self.enforce_bounds
         contains_offset = self.slice.contains_offset
@@ -220,6 +264,7 @@ class SlicedOneWayJoin(Operator):
         name = self.name
         joined_tuple = JoinedTuple
         punctuation = Punctuation
+        nonzero = np.nonzero
         emissions = []
         append = emissions.append
         purge_count = 0
@@ -229,24 +274,63 @@ class SlicedOneWayJoin(Operator):
                 append(("punct", item))
                 continue
             ts = item.timestamp
-            while state:
-                purge_count += 1
-                head = state[0]
-                if ts - head.timestamp >= end:
-                    popleft()
-                    append(("purged", head))
-                else:
-                    break
-            probe_count += len(state)
-            if state:
-                # Pre-bound probe predicate: the probing tuple's attribute
-                # lookups happen once, not once per resident candidate.
-                check = bind_right(item)
-                for candidate in state:
-                    if enforce and not contains_offset(ts - candidate.timestamp):
-                        continue
-                    if check(candidate):
-                        append(("output", joined_tuple(candidate, item)))
+            if columnar:
+                size = len(state)
+                if size:
+                    cut = state.purge_cut(ts, end)
+                    purge_count += cut + 1 if cut < size else cut
+                    for head in state.take(cut):
+                        append(("purged", head))
+                refs, offset, ts_col, key_col, int_keys = state.columns()
+                remaining = len(refs) - offset
+                probe_count += remaining
+                if remaining:
+                    sel = None
+                    vector = all_match
+                    if not vector and key_col is not None:
+                        probe_key = item.values.get(probe_attribute, _ABSENT)
+                        if probe_key is not _ABSENT:
+                            sel = match_mask(probe_key, key_col, int_keys)
+                            vector = sel is not None
+                    if vector:
+                        if enforce:
+                            offsets = ts - ts_col
+                            bounds = (offsets >= lower) & (offsets < end)
+                            sel = bounds if sel is None else sel & bounds
+                        if sel is None:
+                            rows = range(offset, offset + remaining)
+                        else:
+                            hits = nonzero(sel)[0]
+                            rows = (hits + offset if offset else hits).tolist()
+                        for row in rows:
+                            append(("output", joined_tuple(refs[row], item)))
+                    else:
+                        check = bind_right(item)
+                        for row in range(offset, offset + remaining):
+                            candidate = refs[row]
+                            if enforce and not contains_offset(ts - candidate.timestamp):
+                                continue
+                            if check(candidate):
+                                append(("output", joined_tuple(candidate, item)))
+            else:
+                while state:
+                    purge_count += 1
+                    head = state[0]
+                    if ts - head.timestamp >= end:
+                        state.popleft()
+                        append(("purged", head))
+                    else:
+                        break
+                probe_count += len(state)
+                if state:
+                    # Pre-bound probe predicate: the probing tuple's attribute
+                    # lookups happen once, not once per resident candidate.
+                    check = bind_right(item)
+                    for candidate in state:
+                        if enforce and not contains_offset(ts - candidate.timestamp):
+                            continue
+                        if check(candidate):
+                            append(("output", joined_tuple(candidate, item)))
             append(("propagated", item))
             append(("punct", punctuation(ts, source=name)))
         self.metrics.record_invocation(name, len(batch))
@@ -316,6 +400,7 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
         right_stream: str = "B",
         enforce_bounds: bool = False,
         probe: str = "nested_loop",
+        columnar: bool | str = "auto",
         name: str | None = None,
     ) -> None:
         super().__init__(name)
@@ -325,24 +410,63 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
         self.right_stream = right_stream
         self.enforce_bounds = enforce_bounds
         self.probe = resolve_probe(probe, condition)
-        self._states: dict[str, Deque[StreamTuple]] = {
-            left_stream: deque(),
-            right_stream: deque(),
+        self.columnar = resolve_columnar(columnar)
+        self._configure_probe()
+        self._states: dict[str, Deque[StreamTuple] | ColumnarState] = {
+            left_stream: self._new_state(left_stream),
+            right_stream: self._new_state(right_stream),
         }
+
+    def _configure_probe(self) -> None:
+        """(Re)derive the probe-dependent lookup structures from ``self.probe``."""
+        condition = self.condition
         if self.probe == "hash":
             assert isinstance(condition, EquiJoinCondition)
             #: Equi-key attribute per stream (the probing male looks up the
             #: opposite index with its *own* stream's attribute value).
             self._key_attrs: dict[str, str] = {
-                left_stream: condition.left_attribute,
-                right_stream: condition.right_attribute,
+                self.left_stream: condition.left_attribute,
+                self.right_stream: condition.right_attribute,
             }
             self._indexes: dict[str, dict[Any, Deque[StreamTuple]]] | None = {
-                left_stream: defaultdict(deque),
-                right_stream: defaultdict(deque),
+                self.left_stream: defaultdict(deque),
+                self.right_stream: defaultdict(deque),
             }
+            # The hash index supplies the candidates, so the key column
+            # would go unused.
+            self._column_attrs = {self.left_stream: None, self.right_stream: None}
         else:
             self._indexes = None
+            attributes = self.condition.columnar_attributes
+            if attributes is None:
+                self._column_attrs = {self.left_stream: None, self.right_stream: None}
+            else:
+                self._column_attrs = {
+                    self.left_stream: attributes[0],
+                    self.right_stream: attributes[1],
+                }
+
+    def _new_state(
+        self, stream: str, tuples: Iterable[StreamTuple] = ()
+    ) -> Deque[StreamTuple] | ColumnarState:
+        if self.columnar:
+            return ColumnarState(self._column_attrs[stream], tuples)
+        return deque(tuples)
+
+    def set_probe(self, probe: str) -> None:
+        """Switch the probe algorithm in place, rebuilding derived state.
+
+        Used by per-shard probe tuning: the resident tuples are reloaded so
+        the hash index (or the columnar key columns) match the new probe
+        choice.  A no-op when the resolved algorithm is unchanged.
+        """
+        resolved = resolve_probe(probe, self.condition)
+        if resolved == self.probe:
+            return
+        self.probe = resolved
+        self._configure_probe()
+        for stream in list(self._states):
+            self.load_state(stream, list(self._states[stream]))
 
     # -- state introspection --------------------------------------------------------
     def _declares_state(self) -> bool:
@@ -360,7 +484,7 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
         Used by the chain's merge migration; the hash index, when enabled,
         is rebuilt so that probing stays correct across migrations.
         """
-        self._states[stream] = deque(tuples)
+        self._states[stream] = self._new_state(stream, tuples)
         if self._indexes is not None:
             index: dict[Any, Deque[StreamTuple]] = defaultdict(deque)
             attribute = self._key_attrs[stream]
@@ -397,14 +521,23 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
             return self._process_reference(item)
         raise PlanError(f"unexpected port {port!r} for {self.name!r}")
 
-    def process_batch(self, items: Iterable[Any], port: str) -> list[Emission]:
+    def process_batch(
+        self, items: Iterable[Any], port: str, emit_punctuations: bool = True
+    ) -> list[Emission]:
         """Vectorized equivalent of per-item :meth:`process` over a FIFO batch.
 
         Raw arrivals (``left``/``right``) and chain reference tuples are both
         handled; each male is purged/probed/propagated with all attribute
         lookups hoisted out of the loop and the purge/probe comparisons
-        counted in bulk, which is where the batched executor gains most of
-        its throughput.
+        counted in bulk.  With the columnar state layout (the default) the
+        cross-purge cut is found by binary search over the timestamp column
+        and the probe evaluates the join condition as one vectorized mask
+        over the key column, falling back to the bound per-tuple check for
+        probe keys or conditions without an exact columnar form.
+
+        ``emit_punctuations=False`` suppresses construction of the per-male
+        punctuations for callers that discard them anyway (the sliced chain);
+        every data emission and every metric is unchanged.
         """
         batch = list(items)
         chain_port = port == "chain"
@@ -413,8 +546,14 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
         states = self._states
         indexes = self._indexes
         key_attrs = self._key_attrs if indexes is not None else None
+        columnar = self.columnar and indexes is None
+        column_attrs = self._column_attrs
+        condition = self.condition
+        all_match = condition.columnar_all_match
+        match_mask = condition.match_mask
         left_stream = self.left_stream
         right_stream = self.right_stream
+        lower = self.slice.start
         end = self.slice.end
         enforce = self.enforce_bounds
         contains_offset = self.slice.contains_offset
@@ -424,6 +563,7 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
         joined_tuple = JoinedTuple
         ref_tuple = RefTuple
         punctuation = Punctuation
+        nonzero = np.nonzero
         emissions: list[Emission] = []
         append = emissions.append
         purge_count = 0
@@ -470,42 +610,98 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
                 )
             state = states[opposite]
             ts = base.timestamp
-            while state:
-                purge_count += 1
-                head = state[0]
-                if ts - head.timestamp >= end:
-                    state.popleft()
-                    if indexes is not None:
-                        self._unindex_head(opposite, head)
-                    append(("next", ref_tuple(head, FEMALE)))
-                else:
-                    break
-            if indexes is not None:
-                candidates = indexes[opposite].get(base[key_attrs[stream]], ())
+            if columnar:
+                # Purge: binary search over the timestamp column; the
+                # comparison count reproduces the scan loop exactly (one per
+                # purged head, plus the failing check when tuples remain).
+                size = len(state)
+                if size:
+                    cut = state.purge_cut(ts, end)
+                    purge_count += cut + 1 if cut < size else cut
+                    for head in state.take(cut):
+                        append(("next", ref_tuple(head, FEMALE)))
+                # Probe: one vectorized mask over the key column.
+                refs, offset, ts_col, key_col, int_keys = state.columns()
+                remaining = len(refs) - offset
+                probe_count += remaining
+                if remaining:
+                    sel = None
+                    vector = all_match
+                    if not vector and key_col is not None:
+                        probe_key = base.values.get(column_attrs[stream], _ABSENT)
+                        if probe_key is not _ABSENT:
+                            sel = match_mask(probe_key, key_col, int_keys)
+                            vector = sel is not None
+                    if vector:
+                        if enforce:
+                            offsets = ts - ts_col
+                            bounds = (offsets >= lower) & (offsets < end)
+                            sel = bounds if sel is None else sel & bounds
+                        if sel is None:
+                            rows = range(offset, offset + remaining)
+                        else:
+                            hits = nonzero(sel)[0]
+                            rows = (hits + offset if offset else hits).tolist()
+                        if stream == left_stream:
+                            for row in rows:
+                                append(("output", joined_tuple(base, refs[row])))
+                        else:
+                            for row in rows:
+                                append(("output", joined_tuple(refs[row], base)))
+                    elif stream == left_stream:
+                        check = bind_left(base)
+                        for row in range(offset, offset + remaining):
+                            candidate = refs[row]
+                            if enforce and not contains_offset(ts - candidate.timestamp):
+                                continue
+                            if check(candidate):
+                                append(("output", joined_tuple(base, candidate)))
+                    else:
+                        check = bind_right(base)
+                        for row in range(offset, offset + remaining):
+                            candidate = refs[row]
+                            if enforce and not contains_offset(ts - candidate.timestamp):
+                                continue
+                            if check(candidate):
+                                append(("output", joined_tuple(candidate, base)))
             else:
-                candidates = state
-            probe_count += len(candidates)
-            if candidates:
-                # Pre-bound probe predicate (see JoinCondition.bind_left):
-                # the probing male's attribute lookups are hoisted out of
-                # the candidate loop, which dominates per-probe cost in the
-                # nested-loop path.
-                if stream == left_stream:
-                    check = bind_left(base)
-                    for candidate in candidates:
-                        if enforce and not contains_offset(ts - candidate.timestamp):
-                            continue
-                        if check(candidate):
-                            append(("output", joined_tuple(base, candidate)))
+                while state:
+                    purge_count += 1
+                    head = state[0]
+                    if ts - head.timestamp >= end:
+                        state.popleft()
+                        if indexes is not None:
+                            self._unindex_head(opposite, head)
+                        append(("next", ref_tuple(head, FEMALE)))
+                    else:
+                        break
+                if indexes is not None:
+                    candidates = indexes[opposite].get(base[key_attrs[stream]], ())
                 else:
-                    check = bind_right(base)
-                    for candidate in candidates:
-                        if enforce and not contains_offset(ts - candidate.timestamp):
-                            continue
-                        if check(candidate):
-                            append(("output", joined_tuple(candidate, base)))
+                    candidates = state
+                probe_count += len(candidates)
+                if candidates:
+                    # Pre-bound probe predicate (see JoinCondition.bind_left):
+                    # the probing male's attribute lookups are hoisted out of
+                    # the candidate loop, which dominates per-probe cost in the
+                    # nested-loop path.
+                    if stream == left_stream:
+                        check = bind_left(base)
+                        for candidate in candidates:
+                            if enforce and not contains_offset(ts - candidate.timestamp):
+                                continue
+                            if check(candidate):
+                                append(("output", joined_tuple(base, candidate)))
+                    else:
+                        check = bind_right(base)
+                        for candidate in candidates:
+                            if enforce and not contains_offset(ts - candidate.timestamp):
+                                continue
+                            if check(candidate):
+                                append(("output", joined_tuple(candidate, base)))
             append(("next", ref))
-            append(("punct", punctuation(ts, source=name)))
+            if emit_punctuations:
+                append(("punct", punctuation(ts, source=name)))
             if insert_after:
                 # The female copy of a raw arrival fills its own state after
                 # the male finished, matching :meth:`_process_arrival`.

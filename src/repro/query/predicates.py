@@ -24,6 +24,9 @@ import operator as _operator
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
+import numpy as np
+
+from repro.engine.columns import FLOAT_EXACT_MAX, INT_EXACT_MAX, key_level
 from repro.engine.errors import QueryError
 from repro.streams.generators import JOIN_KEY_DOMAIN
 from repro.streams.tuples import StreamTuple
@@ -77,6 +80,17 @@ class Predicate:
 
     def __call__(self, tup: StreamTuple) -> bool:
         return self.matches(tup)
+
+    def match_mask(self, values: Sequence[float]) -> Any:
+        """Vectorized :meth:`matches` over a column of attribute values.
+
+        ``values`` must contain only exact ``float`` objects (the caller
+        checks this while building the column).  Returns a boolean ndarray
+        elementwise-identical to ``matches``, or ``None`` when this
+        predicate has no columnar form and the caller must fall back to
+        per-tuple evaluation.
+        """
+        return None
 
     # -- composition -------------------------------------------------------
     def __and__(self, other: "Predicate") -> "Predicate":
@@ -140,6 +154,19 @@ class ComparisonPredicate(Predicate):
 
     def matches(self, tup: StreamTuple) -> bool:
         return _COMPARATORS[self.op](tup[self.attribute], self.constant)
+
+    def match_mask(self, values: Sequence[float]) -> Any:
+        constant = self.constant
+        kind = type(constant)
+        if kind is not float:
+            # Ints (and bools) compare exactly against a float column only
+            # while they are exactly representable in a double.
+            if kind is not int and kind is not bool:
+                return None
+            if not -FLOAT_EXACT_MAX <= constant <= FLOAT_EXACT_MAX:
+                return None
+            constant = float(constant)
+        return _COMPARATORS[self.op](np.asarray(values, dtype=np.float64), constant)
 
     def describe(self) -> str:
         return f"{self.attribute} {self.op} {self.constant!r}"
@@ -318,6 +345,26 @@ class JoinCondition:
     #: Estimated join selectivity: output / Cartesian-product size (paper's S1).
     selectivity: float = 1.0
 
+    #: ``(left_attribute, right_attribute)`` a columnar state should keep as
+    #: its key column for vectorized probing, or ``None`` when the condition
+    #: has no columnar form (probing falls back to the bound per-tuple check).
+    columnar_attributes: tuple[str, str] | None = None
+    #: True when every candidate matches regardless of keys (cross product),
+    #: so the columnar probe can skip mask evaluation entirely.
+    columnar_all_match: bool = False
+
+    def match_mask(self, probe_key: Any, keys: Any, int_keys: bool) -> Any:
+        """Vectorized probe: a boolean mask over a candidate key column.
+
+        ``keys`` is the float64 key column of the resident candidates (built
+        on the *opposite* side's attribute of :attr:`columnar_attributes`)
+        and ``int_keys`` reports whether every resident key is an
+        arithmetic-safe integer.  The mask must agree elementwise with the
+        bound per-tuple check; return ``None`` whenever exactness cannot be
+        guaranteed for this ``probe_key`` and the caller falls back.
+        """
+        return None
+
     def matches(self, left: StreamTuple, right: StreamTuple) -> bool:
         raise NotImplementedError
 
@@ -364,6 +411,8 @@ class CrossProductCondition(JoinCondition):
 
     selectivity: float = 1.0
 
+    columnar_all_match = True
+
     def matches(self, left: StreamTuple, right: StreamTuple) -> bool:
         return True
 
@@ -396,6 +445,15 @@ class EquiJoinCondition(JoinCondition):
     @property
     def selectivity(self) -> float:  # type: ignore[override]
         return 1.0 / self.key_domain
+
+    @property
+    def columnar_attributes(self) -> tuple[str, str]:  # type: ignore[override]
+        return (self.left_attribute, self.right_attribute)
+
+    def match_mask(self, probe_key: Any, keys: Any, int_keys: bool) -> Any:
+        if key_level(probe_key) >= 2:
+            return None
+        return keys == probe_key
 
     def matches(self, left: StreamTuple, right: StreamTuple) -> bool:
         return left[self.left_attribute] == right[self.right_attribute]
@@ -451,6 +509,20 @@ class ModularMatchCondition(JoinCondition):
     @property
     def selectivity(self) -> float:  # type: ignore[override]
         return self.threshold / self.domain
+
+    @property
+    def columnar_attributes(self) -> tuple[str, str]:  # type: ignore[override]
+        return (self.attribute, self.attribute)
+
+    def match_mask(self, probe_key: Any, keys: Any, int_keys: bool) -> Any:
+        kind = type(probe_key)
+        if kind is not int and kind is not bool:
+            return None
+        if not int_keys or not -INT_EXACT_MAX <= probe_key <= INT_EXACT_MAX:
+            # Modular arithmetic is only exact in float64 for small integers
+            # on *both* sides; anything else takes the per-tuple check.
+            return None
+        return (keys + float(probe_key)) % self.domain < self.threshold
 
     def matches(self, left: StreamTuple, right: StreamTuple) -> bool:
         return (left[self.attribute] + right[self.attribute]) % self.domain < self.threshold

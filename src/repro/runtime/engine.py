@@ -191,6 +191,11 @@ class StreamEngine:
     probe:
         Probe algorithm of every slice: ``"nested_loop"`` (the paper's cost
         model), ``"hash"`` (equi-join conditions only) or ``"auto"``.
+    columnar:
+        ``True``/``"auto"`` (default) runs the slices' batch hot path over
+        columnar struct-of-arrays state (see
+        :mod:`repro.engine.columns`); ``False`` keeps the tuple-at-a-time
+        deque representation.  Results are identical either way.
     policy:
         Optional :class:`~repro.runtime.adaptive.AdaptivePolicy`; attaching
         one turns statistics collection on and lets the session re-optimize
@@ -212,6 +217,7 @@ class StreamEngine:
         metrics: MetricsCollector | None = None,
         window_kind: str = "time",
         probe: str = "nested_loop",
+        columnar: bool | str = "auto",
         policy=None,
         collect_statistics: bool = False,
     ) -> None:
@@ -226,6 +232,7 @@ class StreamEngine:
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.window_kind = window_kind
         self.probe = probe
+        self.columnar = columnar
         self.stats = EngineStats()
         self._chain: SlicedJoinChain | CountSlicedJoinChain | None = None
         self._queries: dict[str, RegisteredQuery] = {}
@@ -365,7 +372,19 @@ class StreamEngine:
             right_stream=self.right_stream,
             metrics=self.metrics,
             probe=self.probe,
+            columnar=self.columnar,
         )
+
+    def set_probe(self, probe: str) -> None:
+        """Switch the probing strategy of the running chain in place.
+
+        Per-shard probe tuning calls this on individual shard engines so a
+        hot shard can use hash probing while a sparse one stays with the
+        cheaper nested loop.  The resident slice states survive the switch.
+        """
+        self.probe = probe
+        if self._chain is not None:
+            self._chain.set_probe(probe)
 
     def _tail_start(self) -> float:
         chain = self._chain
@@ -954,6 +973,7 @@ class CountStreamEngine(StreamEngine):
         batch_size: int = 32,
         metrics: MetricsCollector | None = None,
         probe: str = "nested_loop",
+        columnar: bool | str = "auto",
         policy=None,
         collect_statistics: bool = False,
     ) -> None:
@@ -965,6 +985,7 @@ class CountStreamEngine(StreamEngine):
             metrics=metrics,
             window_kind="count",
             probe=probe,
+            columnar=columnar,
             policy=policy,
             collect_statistics=collect_statistics,
         )

@@ -24,7 +24,12 @@ unsharded answer.
 * **two drivers** — ``shard_mode="serial"`` runs the shards round-robin in
   the calling thread (still an algorithmic win: each nested-loop probe
   scans ~1/N of the resident window state), while ``shard_mode="process"``
-  gives every shard a worker process fed pickled arrival batches.
+  gives every shard a worker process fed through a shared-memory arrival
+  ring (:class:`~repro.engine.ring.SpscRing`) of columnar batch encodings —
+  no syscall or pickle round-trip per batch — with a pipe reserved for the
+  command protocol and oversize fallbacks.  A worker that dies mid-stream
+  is respawned and its state recovered from a parent-side replay journal
+  (see :meth:`ShardedStreamEngine._respawn_shard`).
 
 Sharding is answer-preserving only for equi-key workloads over time-based
 windows.  Non-equi conditions have no partition key, and a count window's
@@ -46,6 +51,7 @@ from __future__ import annotations
 import itertools
 import math
 import threading
+import time
 import zlib
 from collections import deque
 from contextlib import contextmanager
@@ -56,9 +62,10 @@ from repro.core.merge_graph import ChainCostParameters
 from repro.core.statistics import StreamStatistics
 from repro.engine.errors import ExecutionError, MigrationError, QueryError, ShardingError
 from repro.engine.metrics import MetricsCollector, MetricsSnapshot
+from repro.engine.ring import DEFAULT_RING_CAPACITY, SpscRing
 from repro.query.predicates import EquiJoinCondition, JoinCondition, Predicate
 from repro.runtime.engine import EngineStats, RegisteredQuery, StreamEngine
-from repro.streams.tuples import JoinedTuple, StreamTuple
+from repro.streams.tuples import JoinedTuple, StreamTuple, decode_batch, encode_batch
 
 __all__ = [
     "ReshardDecision",
@@ -105,6 +112,7 @@ class ShardConfig:
     batch_size: int = 32
     window_kind: str = "time"
     probe: str = "nested_loop"
+    columnar: bool | str = "auto"
     system_overhead: float = 0.0
     collect_statistics: bool = False
 
@@ -118,6 +126,7 @@ class ShardConfig:
             metrics=MetricsCollector(system_overhead=self.system_overhead),
             window_kind=self.window_kind,
             probe=self.probe,
+            columnar=self.columnar,
             collect_statistics=self.collect_statistics,
         )
 
@@ -142,34 +151,72 @@ def _export_engine(engine: StreamEngine, names: Sequence[str]) -> dict:
 # ---------------------------------------------------------------------------
 # Process-parallel worker
 # ---------------------------------------------------------------------------
-def _shard_worker(conn, config: ShardConfig) -> None:  # pragma: no cover - subprocess
+def _shard_worker(conn, config: ShardConfig, ring: SpscRing | None = None) -> None:  # pragma: no cover - subprocess
     """One worker process owning one shard's engine.
 
-    The parent speaks a small pickled protocol over ``conn``: ``("batch",
-    tuples)`` messages are fire-and-forget (the pipe provides backpressure),
-    every other command gets an ``("ok", payload)`` or ``("error", text)``
-    reply.  Batch-processing errors are deferred and reported on the next
-    replied command, so the parent never deadlocks waiting for an ack that
-    a failed batch will not send.  The discovering command is still
-    *executed* before the deferred error is reported — admissions fan out
-    to every shard, so skipping it here would leave this shard's query set
-    diverged from its siblings even though the parent raises either way.
+    Arrivals travel through ``ring``, a shared-memory SPSC byte ring of
+    :func:`~repro.streams.tuples.encode_batch` records the worker drains
+    without a syscall per batch; the pipe ``conn`` carries the command
+    protocol — every command gets an ``("ok", payload)`` or ``("error",
+    text)`` reply.  The ring is drained *before a command executes*, which
+    is the session's ordering barrier: a reply proves every arrival pushed
+    before the command has been ingested.  Batches whose encoding can never
+    fit the ring fall back to a fire-and-forget ``("batch", tuples)`` pipe
+    message; their position in the arrival order is held by an empty marker
+    record in the ring, so the two transports cannot reorder.
+
+    Batch-processing errors are deferred and reported on the next replied
+    command, so the parent never deadlocks waiting for an ack that a failed
+    batch will not send.  The discovering command is still *executed* before
+    the deferred error is reported — admissions fan out to every shard, so
+    skipping it here would leave this shard's query set diverged from its
+    siblings even though the parent raises either way.
     """
     engine = config.build()
     deferred_error: str | None = None
-    while True:
+
+    def ingest(tuples) -> None:
+        nonlocal deferred_error
         try:
+            engine.process_many(tuples)
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            deferred_error = f"{type(exc).__name__}: {exc}"
+
+    def drain_ring() -> int:
+        """Ingest every ring record; blocks for announced oversize batches."""
+        drained = 0
+        while (record := ring.try_pop()) is not None:
+            if record:
+                ingest(decode_batch(record))
+            else:
+                # Empty marker: the batch it stands for follows on the pipe.
+                _, batch = conn.recv()
+                ingest(batch)
+            drained += 1
+        return drained
+
+    while True:
+        busy = drain_ring() if ring is not None else 0
+        try:
+            if ring is not None and not conn.poll(0 if busy else 0.002):
+                continue
             command, payload = conn.recv()
-        except EOFError:
+        except (EOFError, OSError):
             break
         if command == "batch":
-            try:
-                engine.process_many(payload)
-            except Exception as exc:  # noqa: BLE001 - reported to the parent
-                deferred_error = f"{type(exc).__name__}: {exc}"
+            # Oversize fallback received ahead of its ring marker: replay
+            # the ring up to the marker first, then take the pipe batch.
+            if ring is not None:
+                while (record := ring.try_pop()) is not None:
+                    if not record:
+                        break
+                    ingest(decode_batch(record))
+            ingest(payload)
             continue
         if command == "close":
             break
+        if ring is not None:
+            drain_ring()
         error = deferred_error
         deferred_error = None
         try:
@@ -178,13 +225,18 @@ def _shard_worker(conn, config: ShardConfig) -> None:  # pragma: no cover - subp
                 engine.add_query(
                     name, window, left_filter=left_filter, right_filter=right_filter
                 )
-                result = None
+                result = engine.boundaries
             elif command == "remove":
                 result = engine.remove_query(payload)
             elif command == "results":
                 result = engine.results(payload)
             elif command == "pop":
                 result = engine.pop_results(payload)
+            elif command == "pop_all":
+                result = {name: engine.pop_results(name) for name in payload}
+            elif command == "probe":
+                engine.set_probe(payload)
+                result = None
             elif command == "sync":
                 engine.flush()
                 result = None
@@ -224,6 +276,8 @@ def _shard_worker(conn, config: ShardConfig) -> None:  # pragma: no cover - subp
         else:
             conn.send(("ok", result))
     conn.close()
+    if ring is not None:
+        ring.close()
 
 
 @dataclass(frozen=True)
@@ -275,7 +329,16 @@ class ShardedStreamEngine:
         ``"raise"`` (default) raises :class:`ShardingError` for workloads
         that cannot be partitioned (non-equi condition, count windows);
         ``"fallback"`` silently runs them on one shard.
-    batch_size / window_kind / probe / system_overhead / collect_statistics:
+    ring_capacity:
+        Bytes of one worker's shared-memory arrival ring (process mode).
+        Batches whose encoding can never fit fall back to the pipe without
+        losing the arrival order.
+    max_respawns:
+        How many times one shard's dead worker may be replaced before the
+        session gives up (see :meth:`_respawn_shard` for what a replacement
+        recovers).
+    batch_size / window_kind / probe / columnar / system_overhead /
+    collect_statistics:
         Forwarded to every shard's engine, see :class:`StreamEngine`.
     """
 
@@ -289,9 +352,12 @@ class ShardedStreamEngine:
         batch_size: int = 32,
         window_kind: str = "time",
         probe: str = "nested_loop",
+        columnar: bool | str = "auto",
         system_overhead: float = 0.0,
         collect_statistics: bool = False,
         on_unsupported: str = "raise",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        max_respawns: int = 3,
     ) -> None:
         if shards < 1:
             raise ShardingError(f"shard count must be at least 1, got {shards}")
@@ -329,7 +395,10 @@ class ShardedStreamEngine:
         self.right_stream = right_stream
         self.window_kind = window_kind
         self.probe = probe
+        self.columnar = columnar
         self.batch_size = max(1, int(batch_size))
+        self.ring_capacity = int(ring_capacity)
+        self.max_respawns = int(max_respawns)
         self.config = ShardConfig(
             condition=condition,
             left_stream=left_stream,
@@ -337,6 +406,7 @@ class ShardedStreamEngine:
             batch_size=self.batch_size,
             window_kind=window_kind,
             probe=probe,
+            columnar=columnar,
             system_overhead=system_overhead,
             collect_statistics=collect_statistics,
         )
@@ -357,6 +427,26 @@ class ShardedStreamEngine:
         self._workers: list = []
         self._pipes: list = []
         self._buffers: list[list[StreamTuple]] = []
+        self._rings: list[SpscRing] = []
+        # Crash-recovery plane (process mode only): a per-shard replay
+        # journal of pushed arrivals (bounded by twice the largest window),
+        # per-shard/per-query delivery and admission frontiers expressed as
+        # push positions, the state each generation started from, and the
+        # per-shard respawn budget.  See :meth:`_respawn_shard`.
+        self._journals: list[deque[tuple[int, StreamTuple]]] = []
+        self._journal_counts: list[dict[str, int]] = []
+        self._pushed: list[int] = []
+        self._admitted: list[dict[str, int]] = []
+        self._delivered: list[dict[str, int]] = []
+        self._recovery_base: list = []
+        self._respawns: list[int] = []
+        self._respawn_guard = False
+        #: Per-shard probe overrides installed by :meth:`set_shard_probes`
+        #: (``None`` until then; reset by :meth:`reshard`).
+        self._shard_probes: list[str] | None = None
+        # Chain boundaries as last observed by the coordinator — what a
+        # replacement worker must adopt before state can be spliced in.
+        self._boundaries_cache: tuple[float, ...] | None = None
         #: Session-level collector: reshard events and moved-tuple accounting
         #: (per-shard work lives in the shard engines' own collectors).
         self.metrics = MetricsCollector()
@@ -398,64 +488,150 @@ class ShardedStreamEngine:
             self._session_lock.release()
 
     # -- process-mode plumbing -------------------------------------------------
-    def _start_workers(self) -> None:
+    def _spawn_worker(self):
+        """Start one worker process with a fresh pipe and arrival ring."""
         import multiprocessing
 
+        ring = SpscRing(self.ring_capacity)
+        parent_conn, child_conn = multiprocessing.Pipe()
+        worker = multiprocessing.Process(
+            target=_shard_worker, args=(child_conn, self.config, ring), daemon=True
+        )
+        worker.start()
+        child_conn.close()
+        return parent_conn, ring, worker
+
+    def _start_workers(self) -> None:
         for _ in range(self.shards):
-            parent_conn, child_conn = multiprocessing.Pipe()
-            worker = multiprocessing.Process(
-                target=_shard_worker, args=(child_conn, self.config), daemon=True
-            )
-            worker.start()
-            child_conn.close()
+            parent_conn, ring, worker = self._spawn_worker()
             self._workers.append(worker)
             self._pipes.append(parent_conn)
+            self._rings.append(ring)
             self._buffers.append([])
+            self._journals.append(deque())
+            self._journal_counts.append({})
+            self._pushed.append(0)
+            self._admitted.append({})
+            self._delivered.append({})
+            self._recovery_base.append(None)
+            self._respawns.append(0)
 
-    def _receive(self, index: int, command: str):
-        """One reply from shard ``index``; dead workers surface as errors."""
+    def _worker_died(self, index: int, command: str, exc: BaseException) -> ExecutionError:
+        return ExecutionError(
+            f"shard {index}: worker died during {command!r} "
+            f"({type(exc).__name__}); the session is in an undefined "
+            f"state — close it"
+        )
+
+    def _can_respawn(self) -> bool:
+        """Whether a dead worker may be replaced right now (not re-entrantly,
+        not on a closed session)."""
+        return (
+            self.shard_mode == "process"
+            and not self._respawn_guard
+            and not self._closed
+        )
+
+    def _request(self, index: int, command: str, payload=None, respawn: bool = True):
         try:
+            self._pipes[index].send((command, payload))
             status, result = self._pipes[index].recv()
-        except (EOFError, OSError) as exc:
-            raise ExecutionError(
-                f"shard {index}: worker died during {command!r} "
-                f"({type(exc).__name__}); the session is in an undefined "
-                f"state — close it"
-            ) from exc
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            if not respawn or not self._can_respawn():
+                raise self._worker_died(index, command, exc) from exc
+            self._respawn_shard(index, f"worker died during {command!r}")
+            return self._request(index, command, payload, respawn=False)
         if status == "error":
             raise ExecutionError(f"shard {index}: {result}")
         return result
 
-    def _request(self, index: int, command: str, payload=None):
-        try:
-            self._pipes[index].send((command, payload))
-        except (BrokenPipeError, OSError) as exc:
-            raise ExecutionError(
-                f"shard {index}: worker died before {command!r} "
-                f"({type(exc).__name__}); the session is in an undefined "
-                f"state — close it"
-            ) from exc
-        return self._receive(index, command)
+    def _request_each(self, command: str, payloads: Sequence) -> list:
+        """Fan one command out with a per-shard payload; dead workers are
+        respawned (state recovered from the journal) and retried once.
 
-    def _request_all(self, command: str, payload=None) -> list:
-        # Send first, receive second: the shards work concurrently while the
-        # parent waits, instead of serializing one round-trip per shard.
-        for index in range(len(self._pipes)):
+        Sends first, receives second: the shards work concurrently while
+        the parent waits, instead of serializing one round-trip per shard.
+        """
+        for index, payload in enumerate(payloads):
             try:
                 self._pipes[index].send((command, payload))
             except (BrokenPipeError, OSError) as exc:
-                raise ExecutionError(
-                    f"shard {index}: worker died before {command!r} "
-                    f"({type(exc).__name__}); the session is in an undefined "
-                    f"state — close it"
-                ) from exc
-        return [self._receive(index, command) for index in range(len(self._pipes))]
+                if not self._can_respawn():
+                    raise self._worker_died(index, command, exc) from exc
+                self._respawn_shard(index, f"worker died before {command!r}")
+                self._pipes[index].send((command, payload))
+        replies = []
+        for index in range(len(self._pipes)):
+            try:
+                status, result = self._pipes[index].recv()
+            except (EOFError, OSError) as exc:
+                if not self._can_respawn():
+                    raise self._worker_died(index, command, exc) from exc
+                self._respawn_shard(index, f"worker died during {command!r}")
+                replies.append(
+                    self._request(index, command, payloads[index], respawn=False)
+                )
+                continue
+            if status == "error":
+                raise ExecutionError(f"shard {index}: {result}")
+            replies.append(result)
+        return replies
+
+    def _request_all(self, command: str, payload=None) -> list:
+        return self._request_each(command, [payload] * len(self._pipes))
+
+    def _push_batch(self, index: int) -> None:
+        """Ship shard ``index``'s buffered arrivals through its ring.
+
+        A full ring spins (the worker is draining it on the other side,
+        and a worker found dead is respawned); an encoding that can never
+        fit falls back to the pipe behind an empty ring marker that holds
+        its place in the arrival order.  The batch enters the shard's
+        replay journal only after it is handed off, so a respawn triggered
+        mid-push never replays it twice.
+        """
+        buffer = self._buffers[index]
+        if not buffer:
+            return
+        self._buffers[index] = []
+        payload = encode_batch(buffer)
+        try:
+            while not self._rings[index].try_push(payload):
+                if not self._workers[index].is_alive():
+                    if not self._can_respawn():
+                        raise ExecutionError(
+                            f"shard {index}: worker died with a full arrival "
+                            f"ring; the session is in an undefined state — "
+                            f"close it"
+                        )
+                    self._respawn_shard(index, "worker died with a full arrival ring")
+                else:
+                    time.sleep(0.0002)
+        except ValueError:
+            while not self._rings[index].try_push(b""):
+                if not self._workers[index].is_alive():
+                    if not self._can_respawn():
+                        raise ExecutionError(
+                            f"shard {index}: worker died with a full arrival "
+                            f"ring; the session is in an undefined state — "
+                            f"close it"
+                        )
+                    self._respawn_shard(index, "worker died with a full arrival ring")
+                else:
+                    time.sleep(0.0002)
+            try:
+                self._pipes[index].send(("batch", buffer))
+            except (BrokenPipeError, OSError) as exc:
+                if not self._can_respawn():
+                    raise self._worker_died(index, "batch", exc) from exc
+                self._respawn_shard(index, "worker died receiving an oversize batch")
+                self._rings[index].try_push(b"")  # fresh empty ring: cannot fail
+                self._pipes[index].send(("batch", buffer))
+        self._journal_append(index, buffer)
 
     def _send_buffers(self) -> None:
-        for index, buffer in enumerate(self._buffers):
-            if buffer:
-                self._pipes[index].send(("batch", buffer))
-                self._buffers[index] = []
+        for index in range(len(self._buffers)):
+            self._push_batch(index)
 
     def _stop_workers(self) -> None:
         """Stop the current worker generation (close, join, drop the pipes)."""
@@ -470,9 +646,195 @@ class ShardedStreamEngine:
                 worker.terminate()
         for pipe in self._pipes:
             pipe.close()
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
         self._workers = []
         self._pipes = []
+        self._rings = []
         self._buffers = []
+        self._journals = []
+        self._journal_counts = []
+        self._pushed = []
+        self._admitted = []
+        self._delivered = []
+        self._recovery_base = []
+        self._respawns = []
+
+    # -- crash recovery (process mode) -----------------------------------------
+    def _journal_horizon(self) -> float:
+        """Retention horizon of the replay journals.
+
+        Twice the largest registered window: any undelivered result whose
+        male is within the last window of stream time (or the last ``N``
+        ranks, for a count session) still has every joinable partner inside
+        the journal — partners reach at most one window further back.
+        """
+        if not self._queries:
+            return 0.0
+        return 2.0 * max(query.window for query in self._queries.values())
+
+    def _journal_append(self, index: int, tuples: Sequence[StreamTuple]) -> None:
+        journal = self._journals[index]
+        counts = self._journal_counts[index]
+        base = self._pushed[index]
+        for offset, tup in enumerate(tuples):
+            journal.append((base + offset + 1, tup))
+            counts[tup.stream] = counts.get(tup.stream, 0) + 1
+        self._pushed[index] = base + len(tuples)
+        journal_horizon = self._journal_horizon()
+        if not journal:
+            return
+        if journal_horizon <= 0:
+            # No queries: chainless arrivals build no state and no results.
+            journal.clear()
+            counts.clear()
+        elif self.window_kind == "time":
+            latest = journal[-1][1].timestamp
+            while journal and latest - journal[0][1].timestamp >= journal_horizon:
+                _, dropped = journal.popleft()
+                counts[dropped.stream] -= 1
+        else:
+            while journal and counts[journal[0][1].stream] - 1 >= journal_horizon:
+                _, dropped = journal.popleft()
+                counts[dropped.stream] -= 1
+
+    def _recover_state(self, index: int):
+        """Rebuild a dead shard's engine from the parent-side journal.
+
+        Replays the generation's base state plus the journaled arrivals
+        through a fresh local engine, replaying admissions at their
+        recorded push positions.  Results are popped per journal segment:
+        a segment's results are kept for a query only when its delivery
+        frontier lies at or before the segment start — results the dead
+        worker had already handed out are discarded, undelivered ones are
+        returned for the carryover view.  Returns ``(state, boundaries,
+        recovered_results)``; ``state`` is ``None`` when no query is
+        registered.
+        """
+        engine = self.config.build()
+        admitted = self._admitted[index]
+        delivered = self._delivered[index]
+        queries = list(self._queries.values())
+        recovered: dict[str, list[JoinedTuple]] = {}
+        admitted_names: set[str] = set()
+
+        def admit_through(position: int) -> None:
+            for query in queries:
+                if (
+                    query.name not in admitted_names
+                    and admitted.get(query.name, 0) <= position
+                ):
+                    engine.add_query(
+                        query.name,
+                        query.window,
+                        left_filter=query.left_filter,
+                        right_filter=query.right_filter,
+                    )
+                    admitted_names.add(query.name)
+
+        admit_through(0)
+        base = self._recovery_base[index]
+        if base is not None and admitted_names:
+            base_boundaries, bucket = base
+            engine.set_boundaries(base_boundaries)
+            engine.ingest_keyed_state(bucket)
+        entries = list(self._journals[index])
+        cuts = sorted({*admitted.values(), *delivered.values()})
+        cuts.append(self._pushed[index])
+        pointer = 0
+        previous = 0
+        for cut in cuts:
+            if cut <= previous:
+                continue
+            segment: list[StreamTuple] = []
+            while pointer < len(entries) and entries[pointer][0] <= cut:
+                segment.append(entries[pointer][1])
+                pointer += 1
+            if segment:
+                engine.process_many(segment)
+                engine.flush()
+                for name in admitted_names:
+                    results = engine.pop_results(name)
+                    if results and delivered.get(name, 0) <= previous:
+                        recovered.setdefault(name, []).extend(results)
+            admit_through(cut)
+            previous = cut
+        if not admitted_names:
+            return None, self._boundaries_cache, recovered
+        engine.flush()
+        boundaries = self._boundaries_cache
+        if boundaries is not None and tuple(engine.boundaries) != tuple(boundaries):
+            engine.set_boundaries(boundaries)
+        else:
+            boundaries = tuple(engine.boundaries)
+        return engine.extract_keyed_state(), boundaries, recovered
+
+    def _respawn_shard(self, index: int, cause: str) -> None:
+        """Replace shard ``index``'s dead worker and recover its state.
+
+        The replacement is rebuilt from the parent side alone: admissions
+        replay from the registry, chain boundaries from the coordinator's
+        cache, window state and undelivered results from the shard's replay
+        journal (see :meth:`_recover_state`).  Undelivered results whose
+        male fell off the journal's retention horizon (no result pull for
+        more than one full window) are lost, as are the dead worker's
+        metrics counters; everything else — state, delivered results, the
+        per-shard probe override — survives the crash exactly.
+        """
+        self._respawns[index] += 1
+        if self._respawns[index] > self.max_respawns:
+            raise ExecutionError(
+                f"shard {index}: worker died ({cause}) and exhausted its "
+                f"{self.max_respawns} respawns; close the session"
+            )
+        self._respawn_guard = True
+        try:
+            worker = self._workers[index]
+            if worker.is_alive():  # a broken pipe does not imply a dead process
+                worker.terminate()
+            worker.join(timeout=5)
+            try:
+                self._pipes[index].close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            old_ring = self._rings[index]
+            old_ring.close()
+            old_ring.unlink()
+            state, boundaries, recovered = self._recover_state(index)
+            for name, results in recovered.items():
+                self._carryover.setdefault(name, []).extend(results)
+            parent_conn, ring, worker = self._spawn_worker()
+            self._pipes[index] = parent_conn
+            self._rings[index] = ring
+            self._workers[index] = worker
+            for query in self._queries.values():
+                self._request(
+                    index,
+                    "add",
+                    (query.name, query.window, query.left_filter, query.right_filter),
+                    respawn=False,
+                )
+            if state is not None:
+                self._request(index, "adopt", boundaries, respawn=False)
+                self._request(index, "ingest", state, respawn=False)
+            if self._shard_probes is not None:
+                self._request(
+                    index, "probe", self._shard_probes[index], respawn=False
+                )
+            # The recovered state is the replacement's generation base:
+            # restart the journal bookkeeping from it.
+            self._recovery_base[index] = (
+                (boundaries, state) if state is not None else None
+            )
+            self._journals[index].clear()
+            self._journal_counts[index].clear()
+            self._pushed[index] = 0
+            self._admitted[index] = {name: 0 for name in self._queries}
+            self._delivered[index] = {name: 0 for name in self._queries}
+            self.metrics.record_respawn()
+        finally:
+            self._respawn_guard = False
 
     def close(self) -> None:
         """Shut the worker processes down (no-op for serial sessions)."""
@@ -519,8 +881,7 @@ class ShardedStreamEngine:
         buffer = self._buffers[index]
         buffer.append(tup)
         if len(buffer) >= self.batch_size:
-            self._pipes[index].send(("batch", buffer))
-            self._buffers[index] = []
+            self._push_batch(index)
 
     def process_many(self, tuples: Iterable[StreamTuple]) -> None:
         """Ingest a sequence of timestamp-ordered arrivals."""
@@ -566,7 +927,16 @@ class ShardedStreamEngine:
                 query = replace(registered, registered_at=self._arrivals)
             else:
                 self._send_buffers()
-                self._request_all("add", (name, window, left_filter, right_filter))
+                replies = self._request_all(
+                    "add", (name, window, left_filter, right_filter)
+                )
+                self._boundaries_cache = tuple(replies[0])
+                for index in range(self.shards):
+                    # The new query's results start at the current push
+                    # position: a crash replay must not fabricate results
+                    # for males this shard ingested before the admission.
+                    self._admitted[index][name] = self._pushed[index]
+                    self._delivered[index][name] = self._pushed[index]
                 updates = {
                     key: value
                     for key, value in (
@@ -594,7 +964,18 @@ class ShardedStreamEngine:
             else:
                 self._send_buffers()
                 delivered = self._request_all("remove", name)
+                for index in range(self.shards):
+                    self._admitted[index].pop(name, None)
+                    self._delivered[index].pop(name, None)
             del self._queries[name]
+            if self.shard_mode == "process":
+                # The removal may have shrunk the chain; refresh the
+                # coordinator's boundary cache for crash recovery.
+                self._boundaries_cache = (
+                    tuple(self._request(0, "state")["boundaries"])
+                    if self._queries
+                    else None
+                )
             delivered.append(self._carryover.pop(name, []))
             return self._merge(delivered)
 
@@ -635,8 +1016,44 @@ class ShardedStreamEngine:
         else:
             self._send_buffers()
             per_shard = self._request_all("pop", name)
+            for index in range(self.shards):
+                # Everything pushed so far is now delivered for this query
+                # (the worker drains its ring before executing a command).
+                self._delivered[index][name] = self._pushed[index]
         per_shard.append(self._carryover.pop(name, []))
         return self._merge(per_shard)
+
+    def pop_results_all(self) -> dict[str, list[JoinedTuple]]:
+        """Return and clear every query's merged results in one sweep.
+
+        The batched pull of the process driver: one round-trip per shard
+        for *all* queries, instead of one per ``(shard, query)`` pair —
+        the way a throughput-sensitive caller should drain a sharded
+        session.  Carryover results are included, exactly as in
+        :meth:`pop_results`.
+        """
+        self._check_open()
+        names = list(self._queries)
+        if self.shard_mode == "serial":
+            per_name = {
+                name: [engine.pop_results(name) for engine in self.shard_engines]
+                for name in names
+            }
+        else:
+            self._send_buffers()
+            replies = self._request_all("pop_all", names)
+            per_name = {
+                name: [reply.get(name, []) for reply in replies] for name in names
+            }
+            for index in range(self.shards):
+                for name in names:
+                    self._delivered[index][name] = self._pushed[index]
+        merged: dict[str, list[JoinedTuple]] = {}
+        for name in names:
+            parts = per_name[name]
+            parts.append(self._carryover.pop(name, []))
+            merged[name] = self._merge(parts)
+        return merged
 
     # -- statistics ------------------------------------------------------------
     def shard_snapshots(self) -> list[MetricsSnapshot]:
@@ -664,7 +1081,7 @@ class ShardedStreamEngine:
         parts = list(snapshots)
         if self._snapshot_base is not None:
             parts.append(self._snapshot_base)
-        if self.metrics.reshards:
+        if self.metrics.reshards or self.metrics.respawns:
             parts.append(self.metrics.snapshot())
         return MetricsSnapshot.aggregate(parts)
 
@@ -758,16 +1175,46 @@ class ShardedStreamEngine:
                 boundaries = result if boundaries is None else boundaries
         else:
             self._send_buffers()
-            for index, (params, statistics) in enumerate(plans):
-                self._pipes[index].send(("rebalance", (params, statistics)))
-            for index in range(self.shards):
-                status, result = self._pipes[index].recv()
-                if status == "error":
-                    raise ExecutionError(f"shard {index}: {result}")
-                if boundaries is None:
-                    boundaries = tuple(result)
+            replies = self._request_each("rebalance", list(plans))
+            boundaries = tuple(replies[0])
+            self._boundaries_cache = boundaries
         assert boundaries is not None
         return boundaries
+
+    def set_shard_probes(self, probes: Sequence[str]) -> None:
+        """Install a per-shard probe choice (``"hash"`` / ``"nested_loop"``).
+
+        Unlike boundaries, the probe strategy is private to a shard — it
+        changes *how* a shard scans its state, never which results exist —
+        so shards may legally differ: a hot shard amortizes a hash index
+        over many candidates per probe while a sparse one is better off
+        nested-loop scanning a handful.  Each engine rebuilds its indexes
+        and reloads its state in place (:meth:`StreamEngine.set_probe`).
+        The choice survives worker respawns but is reset by
+        :meth:`reshard` (per-shard statistics do not survive a modulus
+        change); see :meth:`ShardPlanner.recommend_probes` for picking the
+        probes from measured statistics.
+        """
+        self._check_open()
+        probes = list(probes)
+        if len(probes) != self.shards:
+            raise ShardingError(
+                f"need one probe per shard ({self.shards}), got {len(probes)}"
+            )
+        if self.shard_mode == "serial":
+            for engine, probe in zip(self.shard_engines, probes):
+                engine.set_probe(probe)
+        else:
+            self._send_buffers()
+            self._request_each("probe", probes)
+        self._shard_probes = probes
+
+    @property
+    def shard_probes(self) -> list[str]:
+        """The effective per-shard probe strategies."""
+        if self._shard_probes is not None:
+            return list(self._shard_probes)
+        return [self.probe] * self.shards
 
     # -- live resharding -------------------------------------------------------
     def reshard(self, target: "int | ShardPlan", reason: str = "") -> ReshardEvent:
@@ -955,8 +1402,12 @@ class ShardedStreamEngine:
                 snapshot_base.pop(gauge, None)
             self._snapshot_base = snapshot_base
             self._epoch = MetricsSnapshot({"time.last": stream_time})
-            # Build the new generation and splice the buckets in.
+            # Build the new generation and splice the buckets in.  Per-shard
+            # probe overrides were chosen under the old modulus; the new
+            # generation starts from the config default until the planner
+            # re-tunes it.
             self.shards = target
+            self._shard_probes = None
             self._build_generation(boundaries, buckets)
             self.metrics.record_reshard(moved)
             self.metrics.observe_time(stream_time)
@@ -1035,19 +1486,32 @@ class ShardedStreamEngine:
                     engine.set_boundaries(boundaries)
                     engine.ingest_keyed_state(buckets[index])
             self.shard_engines = engines
+            self._boundaries_cache = tuple(boundaries) if queries else None
             return
-        self._start_workers()
-        for query in queries:
-            self._request_all(
-                "add",
-                (query.name, query.window, query.left_filter, query.right_filter),
+        # A worker death in here cannot be recovered from the journal (the
+        # generation's base state only exists in `buckets` until every shard
+        # acknowledged its ingest), so respawns are off until the build is
+        # complete.
+        self._respawn_guard = True
+        try:
+            self._start_workers()
+            for query in queries:
+                self._request_all(
+                    "add",
+                    (query.name, query.window, query.left_filter, query.right_filter),
+                )
+            if queries:
+                self._request_all("adopt", boundaries)
+                self._request_each("ingest", buckets)
+        finally:
+            self._respawn_guard = False
+        self._boundaries_cache = tuple(boundaries) if queries else None
+        for index in range(self.shards):
+            self._admitted[index] = {query.name: 0 for query in queries}
+            self._delivered[index] = {query.name: 0 for query in queries}
+            self._recovery_base[index] = (
+                (tuple(boundaries), buckets[index]) if queries else None
             )
-        if queries:
-            self._request_all("adopt", boundaries)
-            for index in range(self.shards):
-                self._pipes[index].send(("ingest", buckets[index]))
-            for index in range(self.shards):
-                self._receive(index, "ingest")
 
     # -- introspection ---------------------------------------------------------
     def _shard_states(self) -> list[dict]:
@@ -1473,11 +1937,42 @@ class ShardPlanner:
             return None
         return engine.reshard(decision.target, reason=decision.reason)
 
+    def recommend_probes(
+        self,
+        engine: ShardedStreamEngine,
+        snapshots: Sequence[MetricsSnapshot] | None = None,
+        min_scan_per_arrival: float = 8.0,
+    ) -> list[str]:
+        """Per-shard probe choice from each shard's *measured* probe density.
+
+        A hash index pays its build-and-maintain overhead only when probes
+        scan enough candidates to amortize it; under key skew that varies
+        per shard.  A shard whose measured scan volume exceeds
+        ``min_scan_per_arrival`` candidate comparisons per ingested arrival
+        is *hot* and gets ``"hash"``; sparse shards keep the cheap
+        ``"nested_loop"`` scan.  Non-equi sessions have no hashable key, so
+        every shard stays nested-loop.  Apply the result with
+        :meth:`ShardedStreamEngine.set_shard_probes` (or pass
+        ``tune_probes=True`` to :meth:`rebalance`).
+        """
+        if not isinstance(engine.condition, EquiJoinCondition):
+            return ["nested_loop"] * engine.shards
+        if snapshots is None:
+            snapshots = engine.shard_snapshots()
+        probes = []
+        for snapshot in snapshots:
+            ingested = snapshot.get("ingested.total", 0.0)
+            scanned = snapshot.get("comparisons.probe", 0.0)
+            dense = ingested > 0 and scanned / ingested >= min_scan_per_arrival
+            probes.append("hash" if dense else "nested_loop")
+        return probes
+
     def rebalance(
         self,
         engine: ShardedStreamEngine,
         system_overhead: float = 0.5,
         tuple_size: float = 1.0,
+        tune_probes: bool = False,
     ) -> tuple[float, ...]:
         """Re-price every shard's chain from its own measured statistics.
 
@@ -1485,7 +1980,9 @@ class ShardPlanner:
         therefore rebalanced with its *own* whole-session estimate, falling
         back to the merged global view (scaled to one shard's share) for
         quantities a thin shard could not measure.  Requires the session to
-        run with ``collect_statistics=True``.
+        run with ``collect_statistics=True``.  With ``tune_probes=True``
+        the same snapshots also drive :meth:`recommend_probes`, and the
+        recommendation is applied to the session.
         """
         snapshots = engine.shard_snapshots()
         merged = engine.merged_statistics(snapshots)
@@ -1503,4 +2000,7 @@ class ShardPlanner:
                 default_rate=max(sum(rates.values()), 1e-9),
             )
             plans.append((params, stats))
-        return engine.rebalance_shards(plans)
+        boundaries = engine.rebalance_shards(plans)
+        if tune_probes:
+            engine.set_shard_probes(self.recommend_probes(engine, snapshots))
+        return boundaries

@@ -1,0 +1,218 @@
+"""Property tests: the columnar hot path is invisible in the output (PR 6).
+
+The columnar batch representation (struct-of-arrays blocks, see
+``repro.engine.columns``) is a pure performance substitution: every operator
+that grew a vectorized ``process_batch`` path — the sliced/count join
+chains, the selection filters, the engine's probe loop — must emit exactly
+the tuples (and the same delivery order) as the tuple-at-a-time scalar path,
+at every batch size, for every condition shape, and for payload values the
+float64 key columns cannot represent exactly (strings, bools, huge ints —
+the fallback paths).
+
+These are the differential properties that make "byte-identical outputs"
+a checked invariant instead of a code-review claim.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chain import SlicedJoinChain
+from repro.core.count_chain import CountSlicedJoinChain
+from repro.operators.selection import Selection, StreamFilter
+from repro.query.predicates import (
+    CrossProductCondition,
+    EquiJoinCondition,
+    ModularMatchCondition,
+    ThetaJoinCondition,
+    selectivity_filter,
+)
+from repro.runtime import StreamEngine
+from repro.streams.tuples import MALE, FEMALE, RefTuple, make_tuple
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+#: Join-key values deliberately hostile to a float64 key column: exact
+#: doubles, strings, bools, and ints beyond 2**53 (not float-representable).
+WEIRD_KEYS = [
+    0,
+    1,
+    2,
+    3.5,
+    -1,
+    True,
+    False,
+    "red",
+    "blue",
+    2**53 + 1,
+    2**53 + 2,
+    -(2**40) - 7,
+]
+
+
+@st.composite
+def stream_events(draw, max_events: int = 48, keys=None):
+    """A timestamp-ordered sequence of A/B arrivals."""
+    count = draw(st.integers(min_value=2, max_value=max_events))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=0.6, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    streams = draw(
+        st.lists(st.sampled_from(["A", "B"]), min_size=count, max_size=count)
+    )
+    key_values = draw(
+        st.lists(
+            st.sampled_from(keys if keys is not None else list(range(7))),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    tuples = []
+    now = 0.0
+    for gap, stream, key in zip(gaps, streams, key_values):
+        now += gap
+        tuples.append(make_tuple(stream, now, join_key=key, value=now))
+    return tuples
+
+
+@st.composite
+def slicings(draw, max_window: float = 3.0):
+    cuts = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=max_window - 0.05, allow_nan=False),
+            min_size=0,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return [0.0] + sorted(cuts) + [max_window]
+
+
+CONDITIONS = {
+    "equi": lambda: EquiJoinCondition("join_key", "join_key", key_domain=7),
+    "modular": lambda: ModularMatchCondition(threshold=3, domain=7, attribute="join_key"),
+    "cross": lambda: CrossProductCondition(),
+    "theta": lambda: ThetaJoinCondition(
+        lambda a, b: a.get("join_key", 0) <= b.get("join_key", 0)
+    ),
+}
+
+
+def _emitted(results):
+    """Flatten chain (slice, joined) emissions to comparable evidence."""
+    return [(joined.left.seqno, joined.right.seqno) for _, joined in results]
+
+
+# ---------------------------------------------------------------------------
+# Chains: sliced (time) and count-sliced joins
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    tuples=stream_events(),
+    boundaries=slicings(),
+    kind=st.sampled_from(sorted(CONDITIONS)),
+)
+def test_sliced_chain_columnar_equals_tuple_path(tuples, boundaries, kind):
+    runs = {}
+    for columnar in (False, True):
+        chain = SlicedJoinChain(boundaries, CONDITIONS[kind](), columnar=columnar)
+        results = _emitted(chain.process_all(tuples))
+        runs[columnar] = (results, chain.state_size())
+    assert runs[True] == runs[False]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tuples=stream_events(),
+    ranks=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=3, unique=True),
+    kind=st.sampled_from(sorted(CONDITIONS)),
+)
+def test_count_chain_columnar_equals_tuple_path(tuples, ranks, kind):
+    boundaries = [0] + sorted(ranks)
+    runs = {}
+    for columnar in (False, True):
+        chain = CountSlicedJoinChain(boundaries, CONDITIONS[kind](), columnar=columnar)
+        results = _emitted(chain.process_all(tuples))
+        runs[columnar] = (results, chain.state_size())
+    assert runs[True] == runs[False]
+
+
+# ---------------------------------------------------------------------------
+# Engine: full sessions, weird keys, every batch size
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    tuples=stream_events(keys=WEIRD_KEYS),
+    batch_size=st.sampled_from([1, 3, 16, 64]),
+    window_kind=st.sampled_from(["time", "count"]),
+    probe=st.sampled_from(["nested_loop", "hash"]),
+)
+def test_engine_columnar_equals_tuple_path_on_weird_keys(
+    tuples, batch_size, window_kind, probe
+):
+    """Engine sessions agree even when keys defeat the float64 columns.
+
+    Strings, bools, ints past 2**53, and missing attributes all force the
+    columnar layout's fallback behavior; the scalar path is the oracle.
+    """
+    condition = EquiJoinCondition("join_key", "join_key", key_domain=13)
+    windows = {"Q1": 2.0, "Q2": 3.0} if window_kind == "time" else {"Q1": 3, "Q2": 5}
+    runs = {}
+    for columnar in (False, True):
+        engine = StreamEngine(
+            condition,
+            batch_size=batch_size,
+            probe=probe,
+            columnar=columnar,
+            window_kind=window_kind,
+        )
+        for name, window in windows.items():
+            engine.add_query(name, window)
+        engine.process_many(tuples)
+        engine.flush()
+        runs[columnar] = {
+            name: [(j.left.seqno, j.right.seqno) for j in engine.results(name)]
+            for name in windows
+        }
+    assert runs[True] == runs[False]
+
+
+# ---------------------------------------------------------------------------
+# Selection operators: vectorized filter ≡ per-item predicate
+# ---------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(tuples=stream_events(max_events=64), threshold=st.floats(0.0, 1.0))
+def test_selection_batch_equals_per_item(tuples, threshold):
+    predicate = selectivity_filter(1.0 - threshold)
+    batch_op = Selection(predicate)
+    item_op = Selection(predicate)
+    batched = batch_op.process_batch(list(tuples), "in")
+    singly = [em for tup in tuples for em in item_op.process(tup, "in")]
+    assert [(port, item.seqno) for port, item in batched] == [
+        (port, item.seqno) for port, item in singly
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tuples=stream_events(max_events=64),
+    threshold=st.floats(0.0, 1.0),
+    genders=st.lists(st.sampled_from([MALE, FEMALE]), min_size=64, max_size=64),
+)
+def test_stream_filter_batch_equals_per_item(tuples, threshold, genders):
+    refs = [
+        RefTuple(tup, gender) for tup, gender in zip(tuples, genders)
+    ]
+    predicate = selectivity_filter(1.0 - threshold)
+    batch_op = StreamFilter(predicate, "A")
+    item_op = StreamFilter(predicate, "A")
+    batched = batch_op.process_batch(list(refs), "in")
+    singly = [em for ref in refs for em in item_op.process(ref, "in")]
+    assert [(port, item.seqno, item.gender) for port, item in batched] == [
+        (port, item.seqno, item.gender) for port, item in singly
+    ]

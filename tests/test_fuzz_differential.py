@@ -28,6 +28,11 @@ see ``test_pushed_filters_do_drop_state``).
 
 The suite runs 220 scenarios (140 time-window, 80 count-window), seeded and
 deterministic, plus 60 sharded and 40 resharded scenarios (see below).
+Every scenario additionally draws the batch *representation* — columnar
+struct-of-arrays blocks, the tuple-at-a-time scalar path, or ``"auto"`` —
+so the differential oracle covers both hot paths of PR 6; in the sharded
+and resharded families the two engines draw their representation
+independently, making the equality a cross-representation check.
 
 Sharded family
 --------------
@@ -42,6 +47,12 @@ lazy, and lazier still per shard (a shard only purges when one of its own
 keys arrives).  Under the umbrella, retained history is complete on both
 sides, so both engines equal the brute-force answer and hence each other;
 without it they would differ exactly by purge-timing artifacts.
+
+A deterministic subset of the sharded scenarios (``seed % 7 == 3``) runs
+the sharded engine in ``shard_mode="process"`` — real worker processes fed
+through the shared-memory arrival rings — so the ring transport, the
+columnar wire encoding, and the batched result pulls face the same
+differential oracle as the serial driver.
 
 Resharded family
 ----------------
@@ -82,6 +93,7 @@ TIME_WINDOWS = (1.0, 1.5, 2.0, 3.0, 4.0)
 COUNT_WINDOWS = (2, 3, 5, 8, 12)
 THRESHOLDS = (0.15, 0.3, 0.5, 0.7, 0.85)
 BATCH_SIZES = (1, 2, 5, 16, 64)
+COLUMNAR_MODES = (False, True, "auto")
 ARRIVALS = 110
 FOREVER = 10**9
 
@@ -227,6 +239,7 @@ def run_scenario(seed: int, window_kind: str) -> None:
         batch_size=batch_size,
         window_kind=window_kind,
         probe=probe,
+        columnar=rng.choice(COLUMNAR_MODES),
     )
     engine.add_query(
         "umbrella",
@@ -308,17 +321,23 @@ def run_sharded_scenario(seed: int) -> None:
     umbrella_right = weakest(right_filters)
 
     shards = rng.choice((2, 3, 4))
+    # A deterministic subset exercises the process driver (shared-memory
+    # rings + worker processes); the rest stay serial for speed.
+    shard_mode = "process" if seed % 7 == 3 else "serial"
     engines = {
         "single": StreamEngine(
             condition,
             batch_size=rng.choice(BATCH_SIZES),
             probe=rng.choice(("nested_loop", "hash", "auto")),
+            columnar=rng.choice(COLUMNAR_MODES),
         ),
         "sharded": ShardedStreamEngine(
             condition,
             shards=shards,
+            shard_mode=shard_mode,
             batch_size=rng.choice(BATCH_SIZES),
             probe=rng.choice(("nested_loop", "hash", "auto")),
+            columnar=rng.choice(COLUMNAR_MODES),
         ),
     }
     admissions: dict[int, list[int]] = {}
@@ -362,7 +381,7 @@ def run_sharded_scenario(seed: int) -> None:
     assert sharded.shard_boundaries() == (
         [sharded.boundaries] * shards
     ), f"seed {seed}: shards diverged"
-    label = f"seed {seed} [sharded x{shards}] domain={domain}"
+    label = f"seed {seed} [sharded x{shards} {shard_mode}] domain={domain}"
     for query_name, single_results in delivered["single"].items():
         expected = [(j.left.seqno, j.right.seqno) for j in single_results]
         got = [(j.left.seqno, j.right.seqno) for j in delivered["sharded"][query_name]]
@@ -373,6 +392,7 @@ def run_sharded_scenario(seed: int) -> None:
             f"missing={sorted(set(expected) - set(got))[:5]} "
             f"extra={sorted(set(got) - set(expected))[:5]}"
         )
+    sharded.close()
 
 
 # ---------------------------------------------------------------------------
@@ -413,12 +433,14 @@ def run_resharded_scenario(seed: int) -> None:
             condition,
             batch_size=rng.choice(BATCH_SIZES),
             probe=rng.choice(("nested_loop", "hash", "auto")),
+            columnar=rng.choice(COLUMNAR_MODES),
         ),
         "resharded": ShardedStreamEngine(
             condition,
             shards=start_shards,
             batch_size=rng.choice(BATCH_SIZES),
             probe=rng.choice(("nested_loop", "hash", "auto")),
+            columnar=rng.choice(COLUMNAR_MODES),
         ),
     }
     admissions: dict[int, list[int]] = {}

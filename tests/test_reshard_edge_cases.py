@@ -12,8 +12,9 @@ deterministically:
 * serialization — a reshard must wait for an in-flight admission, and
   re-entering a session migration on the same thread is an error, not a
   deadlock;
-* process mode with a dead worker: the deferred-error protocol surfaces an
-  :class:`ExecutionError` instead of hanging;
+* process mode with a dead worker: the shard is respawned and its state
+  recovered from the parent-side replay journal (an :class:`ExecutionError`
+  only once the respawn budget is spent);
 * hot-key skew, where :meth:`ShardPlanner.should_reshard` must *refuse* to
   grow (more shards cannot split one key);
 * the keyed extract/ingest primitives at the operator, chain and engine
@@ -347,9 +348,32 @@ def test_process_mode_reshard_matches_serial():
         assert procs.shards == 1
 
 
-def test_process_mode_reshard_with_a_dead_worker_raises():
+def test_process_mode_reshard_with_a_dead_worker_recovers():
+    # A worker killed mid-stream no longer poisons the session: the reshard
+    # path respawns it, recovers its state and undelivered results from the
+    # parent-side replay journal, and the migration proceeds answer-intact.
+    tuples = make_stream(count=160)
+    serial = ShardedStreamEngine(CONDITION, shards=2, batch_size=8)
+    serial.add_query("Q", 2.0)
+    serial.process_many(tuples)
     with ShardedStreamEngine(
         CONDITION, shards=2, shard_mode="process", batch_size=8
+    ) as engine:
+        engine.add_query("Q", 2.0)
+        engine.process_many(tuples[:80])
+        engine.flush()
+        engine._workers[0].terminate()
+        engine._workers[0].join(5)
+        event = engine.reshard(3)
+        assert event.new_shards == 3
+        engine.process_many(tuples[80:])
+        assert pairs(engine.results("Q")) == pairs(serial.results("Q"))
+        assert engine.metrics.respawns == 1
+
+
+def test_process_mode_worker_death_exhausts_its_respawn_budget():
+    with ShardedStreamEngine(
+        CONDITION, shards=2, shard_mode="process", batch_size=8, max_respawns=0
     ) as engine:
         engine.add_query("Q", 2.0)
         engine.process_many(make_stream(count=40))
@@ -357,7 +381,7 @@ def test_process_mode_reshard_with_a_dead_worker_raises():
         engine._workers[0].terminate()
         engine._workers[0].join(5)
         with pytest.raises(ExecutionError, match="shard 0"):
-            engine.reshard(3)
+            engine.flush()
     # close() after the failure is clean (the context manager just ran it).
 
 

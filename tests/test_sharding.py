@@ -389,3 +389,169 @@ def test_process_mode_introspection_flushes_buffers():
         engine.process_many(DATA.tuples[:50])  # far below the batch size
         assert engine.stats.arrivals == 50
         assert engine.state_size() > 0
+
+
+def test_process_mode_worker_kill_mid_stream_recovers():
+    """A worker killed mid-stream (no reshard involved) is respawned and the
+    session's final answer is exactly the serial driver's."""
+    half = len(DATA.tuples) // 2
+    serial = ShardedStreamEngine(CONDITION, shards=2, batch_size=16)
+    serial.add_query("Q", 3.0)
+    serial.process_many(DATA.tuples)
+    serial.flush()
+    with ShardedStreamEngine(
+        CONDITION, shards=2, shard_mode="process", batch_size=16
+    ) as engine:
+        engine.add_query("Q", 3.0)
+        engine.process_many(DATA.tuples[:half])
+        engine.flush()
+        engine._workers[1].terminate()
+        engine._workers[1].join(timeout=5)
+        engine.process_many(DATA.tuples[half:])
+        engine.flush()
+        assert pairs(engine.results("Q")) == pairs(serial.results("Q"))
+        assert engine.metrics.respawns == 1
+        assert engine.merged_snapshot()["respawn.count"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Per-shard probe choice
+# ---------------------------------------------------------------------------
+def test_set_shard_probes_preserves_answers_serially():
+    uniform = ShardedStreamEngine(CONDITION, shards=3, batch_size=16)
+    uniform.add_query("Q", 3.0)
+    uniform.process_many(DATA.tuples)
+    uniform.flush()
+
+    mixed = ShardedStreamEngine(CONDITION, shards=3, batch_size=16)
+    mixed.add_query("Q", 3.0)
+    mixed.process_many(DATA.tuples[:200])
+    mixed.set_shard_probes(["hash", "nested_loop", "hash"])
+    assert mixed.shard_probes == ["hash", "nested_loop", "hash"]
+    mixed.process_many(DATA.tuples[200:])
+    mixed.flush()
+    assert pairs(mixed.results("Q")) == pairs(uniform.results("Q"))
+
+    with pytest.raises(ShardingError):
+        mixed.set_shard_probes(["hash"])  # one probe per shard
+
+
+def test_set_shard_probes_process_mode_and_respawn():
+    """Per-shard probes reach the workers and survive a respawn."""
+    with ShardedStreamEngine(
+        CONDITION, shards=2, shard_mode="process", batch_size=16
+    ) as engine:
+        engine.add_query("Q", 3.0)
+        engine.process_many(DATA.tuples[:150])
+        engine.set_shard_probes(["hash", "nested_loop"])
+        engine._workers[0].terminate()
+        engine._workers[0].join(timeout=5)
+        engine.process_many(DATA.tuples[150:])
+        engine.flush()
+        assert engine.shard_probes == ["hash", "nested_loop"]
+        assert engine.metrics.respawns == 1
+
+        serial = ShardedStreamEngine(CONDITION, shards=2, batch_size=16)
+        serial.add_query("Q", 3.0)
+        serial.process_many(DATA.tuples)
+        serial.flush()
+        assert pairs(engine.results("Q")) == pairs(serial.results("Q"))
+
+
+def test_shard_probes_reset_by_reshard():
+    engine = ShardedStreamEngine(CONDITION, shards=2, batch_size=16)
+    engine.add_query("Q", 2.0)
+    engine.process_many(DATA.tuples[:100])
+    engine.set_shard_probes(["hash", "hash"])
+    engine.reshard(3)
+    # per-shard statistics do not survive a modulus change
+    assert engine.shard_probes == [engine.probe] * 3
+
+
+def test_planner_recommend_probes_from_measured_density():
+    planner = ShardPlanner()
+    engine = ShardedStreamEngine(CONDITION, shards=2, batch_size=16)
+    engine.add_query("Q", 2.0)
+    dense = MetricsSnapshot({"ingested.total": 100.0, "comparisons.probe": 2000.0})
+    sparse = MetricsSnapshot({"ingested.total": 100.0, "comparisons.probe": 80.0})
+    assert planner.recommend_probes(engine, [dense, sparse]) == [
+        "hash",
+        "nested_loop",
+    ]
+    # a shard that ingested nothing has no evidence for an index
+    empty = MetricsSnapshot({"ingested.total": 0.0, "comparisons.probe": 0.0})
+    assert planner.recommend_probes(engine, [empty, dense]) == [
+        "nested_loop",
+        "hash",
+    ]
+
+    # a non-equi session has no hashable key: every shard stays nested-loop
+    # (the fallback also collapses it to one shard)
+    non_equi = ShardedStreamEngine(
+        CrossProductCondition(), shards=2, batch_size=16, on_unsupported="fallback"
+    )
+    assert non_equi.shards == 1
+    assert planner.recommend_probes(non_equi, [dense]) == ["nested_loop"]
+
+
+def test_planner_rebalance_tune_probes_applies_recommendation():
+    planner = ShardPlanner()
+    engine = ShardedStreamEngine(
+        CONDITION, shards=2, batch_size=16, collect_statistics=True
+    )
+    engine.add_query("Q", 3.0)
+    # every arrival carries one key: shard_for_key(7, 2) is hot, the other idle
+    hot = [
+        make_tuple(tup.stream, tup.timestamp, join_key=7, value=0.5)
+        for tup in DATA.tuples[:240]
+    ]
+    engine.process_many(hot)
+    engine.flush()
+    planner.rebalance(engine, tune_probes=True)
+    probes = engine.shard_probes
+    hot_shard = shard_for_key(7, 2)
+    assert probes[hot_shard] == "hash"
+    assert probes[1 - hot_shard] == "nested_loop"
+
+
+# ---------------------------------------------------------------------------
+# Batched result pulls
+# ---------------------------------------------------------------------------
+def test_pop_results_all_matches_per_query_pops():
+    for mode in ("serial", "process"):
+        reference = ShardedStreamEngine(CONDITION, shards=2, batch_size=16)
+        reference.add_query("Q1", 2.0)
+        reference.add_query("Q2", 3.0)
+        reference.process_many(DATA.tuples)
+        reference.flush()
+        expected = {
+            name: pairs(reference.pop_results(name)) for name in ("Q1", "Q2")
+        }
+        with ShardedStreamEngine(
+            CONDITION, shards=2, shard_mode=mode, batch_size=16
+        ) as engine:
+            engine.add_query("Q1", 2.0)
+            engine.add_query("Q2", 3.0)
+            engine.process_many(DATA.tuples)
+            engine.flush()
+            popped = engine.pop_results_all()
+            assert {name: pairs(res) for name, res in popped.items()} == expected
+            # destructive: a second pull is empty
+            assert engine.pop_results_all() == {"Q1": [], "Q2": []}
+            assert engine.results("Q1") == []
+
+
+def test_process_mode_tiny_ring_uses_pipe_fallback():
+    """Batches that cannot fit the arrival ring take the marked pipe path
+    without reordering against ring traffic."""
+    serial = ShardedStreamEngine(CONDITION, shards=2, batch_size=16)
+    serial.add_query("Q", 3.0)
+    serial.process_many(DATA.tuples)
+    serial.flush()
+    with ShardedStreamEngine(
+        CONDITION, shards=2, shard_mode="process", batch_size=16, ring_capacity=64
+    ) as engine:
+        engine.add_query("Q", 3.0)
+        engine.process_many(DATA.tuples)
+        engine.flush()
+        assert pairs(engine.results("Q")) == pairs(serial.results("Q"))
