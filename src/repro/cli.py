@@ -201,6 +201,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies the sharded equi-join session, even with --shards 1)",
     )
     runtime.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="in-core state budget: cold slices spill to mmap'd disk "
+        "segments once the resident estimate exceeds it (results are "
+        "unchanged).  Accepts K/M/G suffixes, e.g. 64K or 2M; sharded "
+        "sessions split the budget across the live shards",
+    )
+    runtime.add_argument(
         "--stats",
         action="store_true",
         help="print the session's EngineStats, migration history and "
@@ -466,6 +475,12 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
             "error: --adaptive is per-engine; for sharded sessions use the "
             "ShardPlanner (shown under --stats) instead"
         )
+    from repro.engine.spill import parse_memory_budget
+
+    try:
+        memory_budget = parse_memory_budget(args.memory_budget)
+    except ValueError as exc:
+        raise SystemExit(f"error: --memory-budget: {exc}") from None
     value_generator = None
     if sharded or args.probe in ("hash", "auto"):
         # Hash probing and sharding both need an equi-key; approximate the
@@ -499,6 +514,7 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
             batch_size=args.batch_size,
             probe=args.probe,
             collect_statistics=args.stats,
+            memory_budget_bytes=memory_budget,
         )
     else:
         engine = StreamEngine(
@@ -508,6 +524,7 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
             probe=args.probe,
             policy=policy,
             collect_statistics=args.stats,
+            memory_budget_bytes=memory_budget,
         )
     unit = "s" if args.window_kind == "time" else " rows"
     tuples = data.tuples
@@ -576,6 +593,17 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
         f"state {engine.state_size()} tuples in {engine.slice_count()} slices; "
         f"migrations: {[event.kind for event in engine.stats.migrations]}"
     )
+    if memory_budget is not None:
+        spill_snap = engine.merged_snapshot() if sharded else engine.metrics.snapshot()
+        lines.append(
+            f"spill: budget {memory_budget} B"
+            f"{f' ({engine.per_shard_memory_budget} B/shard)' if sharded else ''}, "
+            f"{spill_snap.get('observations.spill.segments', 0):g} segments written, "
+            f"{spill_snap.get('observations.spill.evictions', 0):g} slice evictions, "
+            f"{spill_snap.get('observations.spill.cold_reads', 0):g} cold rows read; "
+            f"resident {spill_snap.get('memory.resident_bytes', 0):g} B, "
+            f"spilled {spill_snap.get('memory.spilled_bytes', 0):g} B"
+        )
     if policy is not None:
         lines.append("")
         lines.append(policy.describe())
@@ -629,6 +657,9 @@ def _cmd_runtime(args: argparse.Namespace) -> str:
             "service_rate",
             "memory.average",
             "memory.max",
+            "memory.resident_bytes",
+            "memory.spilled_bytes",
+            "memory.max_resident_bytes",
         ):
             lines.append(f"    {key:<20} {snapshot.get(key, 0.0):g}")
         if sharded:

@@ -193,6 +193,34 @@ class SlicedChainBase:
     def state_sizes(self) -> list[int]:
         return [join.state_size() for join in self.joins]
 
+    def memory_bytes(self, tuple_bytes: float) -> tuple[int, int]:
+        """(resident, spilled) byte estimate across all slices.
+
+        ``tuple_bytes`` is the caller's per-tuple in-core estimate (the
+        engine samples it from the first arrival); slices on the disk tier
+        report their segment bytes as spilled and only their tail buffer
+        and row metadata as resident.
+        """
+        resident = 0
+        spilled = 0
+        for join in self.joins:
+            memory = getattr(join, "memory_bytes", None)
+            if memory is None:
+                resident += int(join.state_size() * tuple_bytes)
+            else:
+                join_resident, join_spilled = memory(tuple_bytes)
+                resident += join_resident
+                spilled += join_spilled
+        return resident, spilled
+
+    def spilled_slice_count(self) -> int:
+        """Number of slices currently living on the disk tier."""
+        return sum(
+            1
+            for join in self.joins
+            if getattr(join, "is_spilled", lambda: False)()
+        )
+
     def state_tuples(self, stream: str) -> list[list[StreamTuple]]:
         """Per-slice state contents of one stream (oldest slice last)."""
         return [join.state_tuples(stream) for join in self.joins]
@@ -288,6 +316,9 @@ class SlicedChainBase:
             newer = keep.state_tuples(stream)
             keep.load_state(stream, older + newer)
         self._set_join_end(keep, self._join_bounds(absorb)[1])
+        release = getattr(absorb, "release_spill", None)
+        if release is not None:
+            release()
         del self.joins[index + 1]
         self._on_slice_removed(index + 1)
 
@@ -318,7 +349,10 @@ class SlicedChainBase:
         """
         if len(self.joins) < 2:
             raise MigrationError("cannot drop the only slice of a chain")
-        self.joins.pop()
+        dropped = self.joins.pop()
+        release = getattr(dropped, "release_spill", None)
+        if release is not None:
+            release()
         self._on_slice_removed(len(self.joins))
 
     def slice_index_for_boundary(self, boundary) -> int | None:

@@ -47,10 +47,19 @@ class CostCategory:
 
 @dataclass(frozen=True, slots=True)
 class StateMemorySample:
-    """Snapshot of the total number of tuples resident in all join states."""
+    """Snapshot of the total number of tuples resident in all join states.
+
+    ``resident_bytes`` / ``spilled_bytes`` split the estimated footprint by
+    tier for memory-budgeted sessions (PR 8): resident is what occupies
+    core (hot slices plus the spill tail buffers and segment metadata),
+    spilled is what lives in the disk tier's segment files.  Unbudgeted
+    sessions report their whole estimate as resident.
+    """
 
     timestamp: float
     tuples_in_state: int
+    resident_bytes: float = 0.0
+    spilled_bytes: float = 0.0
 
 
 class MetricsSnapshot(dict):
@@ -113,7 +122,13 @@ class MetricsSnapshot(dict):
     #: Gauges that sum across disjoint collectors: each shard's join states
     #: are disjoint partitions of one logical session, so total resident
     #: memory is the sum of the per-shard occupancies.
-    _ADDITIVE_GAUGES = ("memory.average", "memory.max")
+    _ADDITIVE_GAUGES = (
+        "memory.average",
+        "memory.max",
+        "memory.resident_bytes",
+        "memory.spilled_bytes",
+        "memory.max_resident_bytes",
+    )
     #: Time-axis keys: every shard observes the same stream clock, so the
     #: aggregate keeps the furthest point reached (not the sum).
     _TIME_KEYS = ("time.last", "time.elapsed")
@@ -235,8 +250,16 @@ class MetricsCollector:
         self.respawns += 1
 
     # -- memory accounting ----------------------------------------------------
-    def sample_memory(self, timestamp: float, tuples_in_state: int) -> None:
-        self.memory_samples.append(StateMemorySample(timestamp, tuples_in_state))
+    def sample_memory(
+        self,
+        timestamp: float,
+        tuples_in_state: int,
+        resident_bytes: float = 0.0,
+        spilled_bytes: float = 0.0,
+    ) -> None:
+        self.memory_samples.append(
+            StateMemorySample(timestamp, tuples_in_state, resident_bytes, spilled_bytes)
+        )
         self.observe_time(timestamp)
 
     # -- derived quantities -----------------------------------------------------
@@ -348,6 +371,12 @@ class MetricsCollector:
             data["respawn.count"] = float(self.respawns)
         data["memory.average"] = self.average_state_memory()
         data["memory.max"] = float(self.max_state_memory())
+        samples = self.memory_samples
+        data["memory.resident_bytes"] = samples[-1].resident_bytes if samples else 0.0
+        data["memory.spilled_bytes"] = samples[-1].spilled_bytes if samples else 0.0
+        data["memory.max_resident_bytes"] = (
+            max(sample.resident_bytes for sample in samples) if samples else 0.0
+        )
         data["cpu_cost"] = self.cpu_cost()
         data["service_rate"] = self.service_rate()
         data["time.last"] = self.last_timestamp

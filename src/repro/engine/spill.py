@@ -1,0 +1,541 @@
+"""Disk tier for cold sliced window state (memory-budgeted sessions).
+
+The lazy-purge sliced chain stratifies its state by age: the head slice
+holds the youngest tuples and sees every probe, while tail slices hold
+progressively older tuples whose only traffic is the steady trickle of
+cross-purged females moving down the chain plus the per-male probe of their
+(usually small) matching subset.  That access skew is exactly what a
+hot/cold tier exploits.  This module provides the cold half:
+
+* :class:`SpillStore` — one per engine: a lazily-created temporary
+  directory holding append-only segment files, plus the session-wide spill
+  counters (segments written, slice evictions, cold rows decoded).
+
+* :class:`SpilledState` — a drop-in replacement for one stream's slice
+  state (the ``deque`` / :class:`~repro.engine.columns.ColumnarState`
+  surface: ``append`` / ``popleft`` / ``__len__`` / ``__iter__`` /
+  ``__getitem__``).  Resident tuples are encoded row-by-row with the PR-6
+  columnar wire format (:func:`~repro.streams.tuples.encode_batch`) into
+  mmap'd segment files; per segment an in-memory ``float64`` timestamp
+  column drives the cross-purge cut by binary search (the *exact* scalar
+  predicate of the in-core purge loop, so purge decisions are bit-identical)
+  and a compact ``key -> row ordinals`` index lets equi-probes decode only
+  the matching rows.  A small resident tail buffer absorbs appends and is
+  flushed to a new segment once it reaches ``flush_rows``.
+
+* :class:`SpillableJoinMixin` — the slice-operator surface: ``spill()``
+  moves both stream states of a join to the disk tier, ``memory_bytes()``
+  reports (resident, spilled) byte estimates, and materialization back to
+  core happens through the joins' ordinary ``load_state`` (which releases a
+  replaced spilled state), so every existing migration primitive — merge,
+  split, keyed extract/ingest, probe switching — re-materializes spilled
+  slices without new code paths (see ``docs/invariants.md``).
+
+Everything that leaves a spilled state is decoded back to the original
+:class:`~repro.streams.tuples.StreamTuple` objects (the wire format
+round-trips streams, timestamps, payloads and seqnos exactly), and every
+probe candidate the key index yields is re-checked with the join
+condition's bound predicate, so answers never depend on the tier a slice
+happens to live in.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import shutil
+import sys
+import tempfile
+import weakref
+from array import array
+from collections import defaultdict
+from collections import deque as _deque
+from typing import Any, Iterable, Iterator
+
+from repro.streams.tuples import StreamTuple, decode_batch, encode_batch
+
+__all__ = [
+    "SpillStore",
+    "SpilledState",
+    "SpillableJoinMixin",
+    "estimate_tuple_bytes",
+    "parse_memory_budget",
+    "DEFAULT_FLUSH_ROWS",
+]
+
+_ABSENT = object()
+
+#: Appends buffered in core before a spilled state flushes them to a new
+#: segment.  Bounds the resident overhead of one spilled slice to roughly
+#: ``DEFAULT_FLUSH_ROWS * tuple_bytes`` per stream.
+DEFAULT_FLUSH_ROWS = 128
+
+#: Estimated in-core bytes per spilled row kept as segment metadata (one
+#: float64 timestamp, one int64 offset, index slots).
+_ROW_METADATA_BYTES = 32
+
+_SUFFIXES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3}
+
+
+def parse_memory_budget(text: str | int | None) -> int | None:
+    """Parse a ``--memory-budget`` value: plain bytes or ``64K/64M/1G``."""
+    if text is None:
+        return None
+    if isinstance(text, int):
+        budget = text
+    else:
+        raw = str(text).strip().upper()
+        if raw.endswith("B"):
+            raw = raw[:-1]
+        suffix = raw[-1:] if raw[-1:] in ("K", "M", "G") else ""
+        try:
+            budget = int(float(raw[: len(raw) - len(suffix)] or "x")) * _SUFFIXES[suffix]
+        except ValueError:
+            raise ValueError(f"unparseable memory budget {text!r}") from None
+    if budget <= 0:
+        raise ValueError(f"memory budget must be positive, got {text!r}")
+    return budget
+
+
+def estimate_tuple_bytes(tup: StreamTuple) -> int:
+    """Shallow in-core byte estimate of one resident stream tuple.
+
+    Counts the tuple record, its payload dict and the payload entries
+    (attribute names are usually interned and shared, so this slightly
+    overestimates — the safe direction for a budget).
+    """
+    values = tup.values
+    size = sys.getsizeof(tup) + sys.getsizeof(values) + 64  # container slot + ts/seqno
+    for key, value in values.items():
+        size += sys.getsizeof(key) + sys.getsizeof(value)
+    return size
+
+
+class SpillStore:
+    """Holder of one engine's spill segments and spill counters.
+
+    The backing directory is created lazily on the first segment write and
+    removed by :meth:`close` (or by garbage collection, via a finalizer —
+    segments are an execution-time cache, never a persistence layer).
+    """
+
+    def __init__(self) -> None:
+        self._directory: str | None = None
+        self._finalizer: weakref.finalize | None = None
+        self._sequence = 0
+        #: Segment files written over the store's lifetime (monotone).
+        self.segments_written = 0
+        #: Slices moved to the disk tier by budget enforcement (monotone).
+        self.evictions = 0
+        #: Rows decoded back from segment files (monotone).
+        self.cold_reads = 0
+
+    @property
+    def directory(self) -> str | None:
+        """The backing directory, or ``None`` before the first write."""
+        return self._directory
+
+    def _ensure_directory(self) -> str:
+        if self._directory is None:
+            self._directory = tempfile.mkdtemp(prefix="repro-spill-")
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._directory, True
+            )
+        return self._directory
+
+    def new_segment_path(self) -> str:
+        self._sequence += 1
+        self.segments_written += 1
+        return os.path.join(self._ensure_directory(), f"seg-{self._sequence:08d}.bin")
+
+    def close(self) -> None:
+        """Delete every segment of this store (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._directory = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<SpillStore dir={self._directory!r} segments={self.segments_written} "
+            f"cold_reads={self.cold_reads}>"
+        )
+
+
+class _Segment:
+    """One immutable append-only run of encoded rows, oldest first.
+
+    The file holds the concatenated per-row :func:`encode_batch` payloads;
+    row boundaries, the timestamp column and the optional key index live in
+    memory (a store is process-local, so nothing needs to be recoverable
+    from the bytes alone).
+    """
+
+    __slots__ = ("path", "offsets", "timestamps", "index", "consumed", "_mmap", "_file")
+
+    def __init__(
+        self,
+        path: str,
+        rows: list[StreamTuple],
+        key_attribute: str | None,
+    ) -> None:
+        self.path = path
+        offsets = array("q", [0])
+        timestamps = array("d")
+        index: dict[Any, array] | None = {} if key_attribute is not None else None
+        with open(path, "wb") as handle:
+            position = 0
+            for ordinal, tup in enumerate(rows):
+                payload = encode_batch((tup,))
+                handle.write(payload)
+                position += len(payload)
+                offsets.append(position)
+                timestamps.append(tup.timestamp)
+                if index is not None:
+                    key = tup.values.get(key_attribute, _ABSENT)
+                    try:
+                        bucket = index.get(key)
+                        if bucket is None:
+                            index[key] = bucket = array("q")
+                        bucket.append(ordinal)
+                    except TypeError:
+                        # Unhashable key: the whole segment falls back to
+                        # full scans (probes re-check the condition anyway).
+                        index = None
+        self.offsets = offsets
+        self.timestamps = timestamps
+        self.index = index
+        self.consumed = 0
+        self._mmap: mmap.mmap | None = None
+        self._file = None
+
+    def __len__(self) -> int:
+        return len(self.timestamps) - self.consumed
+
+    @property
+    def total_rows(self) -> int:
+        return len(self.timestamps)
+
+    def remaining_bytes(self) -> int:
+        return self.offsets[-1] - self.offsets[self.consumed]
+
+    def _view(self) -> mmap.mmap:
+        if self._mmap is None:
+            self._file = open(self.path, "rb")
+            self._mmap = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        return self._mmap
+
+    def row(self, ordinal: int) -> StreamTuple:
+        view = self._view()
+        return decode_batch(view[self.offsets[ordinal] : self.offsets[ordinal + 1]])[0]
+
+    def rows(self, start: int, stop: int) -> list[StreamTuple]:
+        view = self._view()
+        offsets = self.offsets
+        return [
+            decode_batch(view[offsets[i] : offsets[i + 1]])[0]
+            for i in range(start, stop)
+        ]
+
+    def purge_cut(self, now: float, end: float) -> int:
+        """Rows past the head with ``now - t >= end`` (exact scalar predicate).
+
+        The column is timestamp-ordered, so the predicate is monotone and a
+        binary search finds the same cut a linear scan would — the same
+        contract as :meth:`ColumnarState.purge_cut`.
+        """
+        timestamps = self.timestamps
+        head = self.consumed
+        n = len(timestamps)
+        if n - head <= 32:
+            i = head
+            while i < n and now - timestamps[i] >= end:
+                i += 1
+            return i - head
+        lo, hi = head, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if now - timestamps[mid] >= end:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - head
+
+    def release(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class SpilledState:
+    """One stream's slice state living (mostly) on the disk tier.
+
+    Deque-compatible for everything that materializes state (iteration,
+    keyed extract, migrations) and offering :meth:`purge` / :meth:`probe`
+    for the joins' cold hot path.  Rows keep global arrival order: segments
+    oldest-first, then the resident tail buffer.
+    """
+
+    __slots__ = ("store", "key_attribute", "flush_rows", "_segments", "_tail", "_length")
+
+    def __init__(
+        self,
+        store: SpillStore,
+        key_attribute: str | None = None,
+        tuples: Iterable[StreamTuple] = (),
+        flush_rows: int = DEFAULT_FLUSH_ROWS,
+    ) -> None:
+        self.store = store
+        self.key_attribute = key_attribute
+        self.flush_rows = int(flush_rows)
+        self._segments: list[_Segment] = []
+        self._tail: list[StreamTuple] = list(tuples)
+        self._length = len(self._tail)
+        if self._tail:
+            self.flush()
+
+    # -- deque-compatible surface --------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        read = 0
+        for segment in self._segments:
+            remaining = len(segment)
+            if remaining:
+                read += remaining
+                yield from segment.rows(segment.consumed, segment.total_rows)
+        if read:
+            self.store.cold_reads += read
+        yield from self._tail
+
+    def __getitem__(self, index: int) -> StreamTuple:
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("state index out of range")
+        for segment in self._segments:
+            remaining = len(segment)
+            if index < remaining:
+                self.store.cold_reads += 1
+                return segment.row(segment.consumed + index)
+            index -= remaining
+        return self._tail[index]
+
+    def append(self, tup: StreamTuple) -> None:
+        self._tail.append(tup)
+        self._length += 1
+        if len(self._tail) >= self.flush_rows:
+            self.flush()
+
+    def popleft(self) -> StreamTuple:
+        if not self._length:
+            raise IndexError("pop from an empty state")
+        self._length -= 1
+        segments = self._segments
+        while segments:
+            segment = segments[0]
+            if len(segment):
+                self.store.cold_reads += 1
+                tup = segment.row(segment.consumed)
+                segment.consumed += 1
+                if not len(segment):
+                    segment.release()
+                    del segments[0]
+                return tup
+            segment.release()
+            del segments[0]
+        return self._tail.pop(0)
+
+    # -- cold hot path ---------------------------------------------------------
+    def purge(self, now: float, end: float) -> tuple[list[StreamTuple], int]:
+        """Expel every head tuple with ``now - t >= end``.
+
+        Returns ``(purged tuples oldest-first, comparison count)``; the
+        count reproduces the in-core scan loop exactly (one per purged head
+        plus the failing check when tuples remain).
+        """
+        purged: list[StreamTuple] = []
+        segments = self._segments
+        while segments:
+            segment = segments[0]
+            cut = segment.purge_cut(now, end)
+            if cut:
+                self.store.cold_reads += cut
+                purged.extend(segment.rows(segment.consumed, segment.consumed + cut))
+                segment.consumed += cut
+            if len(segment):
+                break
+            segment.release()
+            del segments[0]
+        else:
+            tail = self._tail
+            drop = 0
+            while drop < len(tail) and now - tail[drop].timestamp >= end:
+                drop += 1
+            if drop:
+                purged.extend(tail[:drop])
+                del tail[:drop]
+        self._length -= len(purged)
+        comparisons = len(purged) + (1 if self._length else 0)
+        return purged, comparisons
+
+    def probe(self, key: Any = _ABSENT) -> list[StreamTuple]:
+        """Decode the probe candidates for ``key``, in arrival order.
+
+        With a key index (equi-joins) only the matching rows of each
+        segment are decoded; ``_ABSENT`` (or an unindexable key) falls back
+        to a full scan.  Candidates may over-select — the caller re-checks
+        every one with the join condition's bound predicate, exactly like
+        the in-core hash-bucket probe.
+        """
+        attribute = self.key_attribute
+        use_index = attribute is not None and key is not _ABSENT
+        candidates: list[StreamTuple] = []
+        read = 0
+        for segment in self._segments:
+            if not len(segment):
+                continue
+            index = segment.index if use_index else None
+            if index is not None:
+                try:
+                    bucket = index.get(key)
+                except TypeError:
+                    bucket = None
+                    index = None
+                if index is not None:
+                    if bucket:
+                        consumed = segment.consumed
+                        live = [o for o in bucket if o >= consumed]
+                        if live:
+                            read += len(live)
+                            candidates.extend(segment.row(o) for o in live)
+                    continue
+            read += len(segment)
+            candidates.extend(segment.rows(segment.consumed, segment.total_rows))
+        if read:
+            self.store.cold_reads += read
+        tail = self._tail
+        if tail:
+            if use_index:
+                candidates.extend(
+                    tup
+                    for tup in tail
+                    if tup.values.get(attribute, _ABSENT) == key
+                )
+            else:
+                candidates.extend(tail)
+        return candidates
+
+    # -- tiering management ----------------------------------------------------
+    def flush(self) -> None:
+        """Move the resident tail buffer into a new segment file."""
+        if not self._tail:
+            return
+        path = self.store.new_segment_path()
+        self._segments.append(_Segment(path, self._tail, self.key_attribute))
+        self._tail = []
+
+    def release(self) -> None:
+        """Delete every segment of this state (called when it is replaced)."""
+        for segment in self._segments:
+            segment.release()
+        self._segments = []
+        self._tail = []
+        self._length = 0
+
+    def resident_bytes(self, tuple_bytes: float) -> int:
+        """In-core footprint: tail buffer plus per-row segment metadata."""
+        rows = self._length - len(self._tail)
+        return int(len(self._tail) * tuple_bytes) + rows * _ROW_METADATA_BYTES
+
+    def spilled_bytes(self) -> int:
+        """Bytes of live (unconsumed) rows on the disk tier."""
+        return sum(segment.remaining_bytes() for segment in self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<SpilledState rows={self._length} segments={len(self._segments)} "
+            f"tail={len(self._tail)}>"
+        )
+
+
+class SpillableJoinMixin:
+    """Tiering surface shared by the time- and count-sliced binary joins.
+
+    Assumes the host class keeps its per-stream states in ``self._states``,
+    its optional hash index in ``self._indexes`` and exposes ``condition``,
+    ``left_stream`` / ``right_stream`` and ``load_state`` — the same duck
+    surface :class:`~repro.operators.sliced_join.KeyedStateMixin` relies on.
+    """
+
+    def _spill_key_attrs(self) -> dict[str, str | None]:
+        """Per-stream key attribute for the cold tier's segment index.
+
+        Only a plain equi-join may use the equality index (its dict-lookup
+        semantics are exactly those of the in-core hash probe); any other
+        condition — including value-based ones that expose key attributes —
+        gets full scans, with the bound predicate doing the matching.
+        """
+        from repro.query.predicates import EquiJoinCondition
+
+        condition = self.condition
+        if not isinstance(condition, EquiJoinCondition):
+            return {self.left_stream: None, self.right_stream: None}
+        return {
+            self.left_stream: condition.left_attribute,
+            self.right_stream: condition.right_attribute,
+        }
+
+    def is_spilled(self) -> bool:
+        return any(
+            isinstance(state, SpilledState) for state in self._states.values()
+        )
+
+    def spill(self, store: SpillStore) -> None:
+        """Move both stream states of this slice to the disk tier."""
+        if self.is_spilled():
+            return
+        attrs = self._spill_key_attrs()
+        for stream in list(self._states):
+            self._states[stream] = SpilledState(
+                store, attrs[stream], list(self._states[stream])
+            )
+        if self._indexes is not None:
+            # The resident hash index would pin every spilled tuple in core;
+            # the spilled probe path uses the per-segment key index instead,
+            # and load_state rebuilds this one on re-materialization.
+            self._indexes = {
+                stream: defaultdict(_deque) for stream in self._states
+            }
+
+    def spill_flush(self) -> None:
+        """Flush the resident tail buffers of every spilled state."""
+        for state in self._states.values():
+            if isinstance(state, SpilledState):
+                state.flush()
+
+    def release_spill(self) -> None:
+        """Delete this slice's segments (the slice is being discarded)."""
+        for state in self._states.values():
+            if isinstance(state, SpilledState):
+                state.release()
+
+    def memory_bytes(self, tuple_bytes: float) -> tuple[int, int]:
+        """(resident, spilled) byte estimate of this slice's states."""
+        resident = 0
+        spilled = 0
+        for state in self._states.values():
+            if isinstance(state, SpilledState):
+                resident += state.resident_bytes(tuple_bytes)
+                spilled += state.spilled_bytes()
+            else:
+                resident += int(len(state) * tuple_bytes)
+        return resident, spilled

@@ -42,6 +42,7 @@ from repro.engine.columns import ColumnarState
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
+from repro.engine.spill import SpillableJoinMixin, SpilledState
 from repro.operators.sliced_join import KeyedStateMixin, resolve_columnar, resolve_probe
 from repro.query.predicates import (
     EquiJoinCondition,
@@ -278,7 +279,7 @@ class SharedCountJoin(Operator):
         )
 
 
-class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
+class CountSlicedBinaryJoin(SpillableJoinMixin, KeyedStateMixin, Operator):
     """One slice ``[rank_start, rank_end)`` of a count-based sliced-join chain.
 
     Ports mirror :class:`repro.operators.sliced_join.SlicedBinaryJoin`:
@@ -395,9 +396,14 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
 
         The count chain's split/merge migrations move rank ranges between
         slices eagerly; the hash index, when enabled, is rebuilt here so
-        probing stays correct across migrations.
+        probing stays correct across migrations.  A replaced spilled state
+        has its segments deleted (cold slices re-materialize through here
+        before any migration crosses them — see ``docs/invariants.md``).
         """
+        replaced = self._states.get(stream)
         self._states[stream] = self._new_state(stream, tuples)
+        if isinstance(replaced, SpilledState):
+            replaced.release()
         if self._indexes is not None:
             index: dict[Any, Deque[StreamTuple]] = defaultdict(deque)
             attribute = self._key_attrs[stream]
@@ -406,14 +412,20 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
             self._indexes[stream] = index
 
     def _insert(self, stream: str, tup: StreamTuple) -> StreamTuple | None:
-        """Append to the own state; return the evicted overflow tuple, if any."""
+        """Append to the own state; return the evicted overflow tuple, if any.
+
+        A spilled state buffers the append in its resident tail and decodes
+        the overflow row from its oldest segment; the in-core hash index is
+        not maintained while spilled (the segment key index replaces it).
+        """
         state = self._states[stream]
+        spilled = isinstance(state, SpilledState)
         state.append(tup)
-        if self._indexes is not None:
+        if self._indexes is not None and not spilled:
             self._indexes[stream][tup[self._key_attrs[stream]]].append(tup)
         if len(state) > self.capacity:
             evicted = state.popleft()
-            if self._indexes is not None:
+            if self._indexes is not None and not spilled:
                 index = self._indexes[stream]
                 bucket = index[evicted[self._key_attrs[stream]]]
                 bucket.popleft()
@@ -460,7 +472,9 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
         states = self._states
         indexes = self._indexes
         key_attrs = self._key_attrs if indexes is not None else None
-        columnar = self.columnar and indexes is None
+        spilled = self.is_spilled()
+        columnar = self.columnar and indexes is None and not spilled
+        spill_attrs = self._spill_key_attrs() if spilled else None
         column_attrs = self._column_attrs
         condition = self.condition
         all_match = condition.columnar_all_match
@@ -489,6 +503,37 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
                     f"join {name!r} joins streams "
                     f"{left_stream!r}/{right_stream!r}, got {stream!r}"
                 )
+            opposite_state = states[opposite]
+            if isinstance(opposite_state, SpilledState):
+                # Cold state: the per-segment key index supplies candidates
+                # (decoding only matching rows); the bound predicate
+                # re-checks every one.  Rank slices never purge on probe.
+                # Checked per state, not per slice — a migration's
+                # load_state materializes one stream at a time, so a slice
+                # can be half-spilled between those calls.
+                attribute = spill_attrs[stream]
+                probe_key = (
+                    tup.values.get(attribute, _ABSENT)
+                    if attribute is not None
+                    else _ABSENT
+                )
+                candidates = opposite_state.probe(probe_key)
+                probe_count += len(candidates)
+                if candidates:
+                    if stream == left_stream:
+                        check = bind_left(tup)
+                        for candidate in candidates:
+                            if check(candidate):
+                                append(("output", joined_tuple(tup, candidate)))
+                    else:
+                        check = bind_right(tup)
+                        for candidate in candidates:
+                            if check(candidate):
+                                append(("output", joined_tuple(candidate, tup)))
+                append(("next", RefTuple(tup, "male")))
+                if emit_punctuations:
+                    append(("punct", Punctuation(tup.timestamp, source=name)))
+                return
             if columnar:
                 refs, offset, _ts, key_col, int_keys = states[opposite].columns()
                 remaining = len(refs) - offset
@@ -588,12 +633,18 @@ class CountSlicedBinaryJoin(KeyedStateMixin, Operator):
         """Probe the opposite sliced state, then propagate down the chain."""
         opposite = self._opposite(tup.stream)
         emissions: list[Emission] = []
-        if self._indexes is not None:
-            candidates: Iterable[StreamTuple] = self._indexes[opposite].get(
+        opposite_state = self._states[opposite]
+        if isinstance(opposite_state, SpilledState):
+            attribute = self._spill_key_attrs()[tup.stream]
+            candidates: Iterable[StreamTuple] = opposite_state.probe(
+                tup.values.get(attribute, _ABSENT) if attribute is not None else _ABSENT
+            )
+        elif self._indexes is not None:
+            candidates = self._indexes[opposite].get(
                 tup[self._key_attrs[tup.stream]], ()
             )
         else:
-            candidates = self._states[opposite]
+            candidates = opposite_state
         for candidate in candidates:
             self.metrics.count(CostCategory.PROBE)
             left, right = self._orient(tup, candidate)

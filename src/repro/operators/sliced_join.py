@@ -34,6 +34,7 @@ from repro.engine.columns import ColumnarState
 from repro.engine.errors import PlanError
 from repro.engine.metrics import CostCategory
 from repro.engine.operator import Emission, Operator
+from repro.engine.spill import SpillableJoinMixin, SpilledState
 from repro.query.predicates import EquiJoinCondition, JoinCondition
 from repro.query.windows import WindowSlice
 from repro.streams.tuples import (
@@ -354,7 +355,7 @@ class SlicedOneWayJoin(Operator):
         return f"A{self.slice.describe()} s⋉ B on {self.condition.describe()}"
 
 
-class SlicedBinaryJoin(KeyedStateMixin, Operator):
+class SlicedBinaryJoin(SpillableJoinMixin, KeyedStateMixin, Operator):
     """Sliced binary window join (Definition 3, execution of Figure 9).
 
     Ports
@@ -482,9 +483,16 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
         """Replace one stream's sliced state (migration helper).
 
         Used by the chain's merge migration; the hash index, when enabled,
-        is rebuilt so that probing stays correct across migrations.
+        is rebuilt so that probing stays correct across migrations.  A
+        replaced spilled state has its segments deleted — every migration
+        path (merge, keyed extract/ingest, probe switching) funnels through
+        here, which is what re-materializes cold slices before state
+        crosses a migration boundary (see ``docs/invariants.md``).
         """
+        replaced = self._states.get(stream)
         self._states[stream] = self._new_state(stream, tuples)
+        if isinstance(replaced, SpilledState):
+            replaced.release()
         if self._indexes is not None:
             index: dict[Any, Deque[StreamTuple]] = defaultdict(deque)
             attribute = self._key_attrs[stream]
@@ -493,8 +501,9 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
             self._indexes[stream] = index
 
     def _insert(self, stream: str, tup: StreamTuple) -> None:
-        self._states[stream].append(tup)
-        if self._indexes is not None:
+        state = self._states[stream]
+        state.append(tup)
+        if self._indexes is not None and not isinstance(state, SpilledState):
             self._indexes[stream][tup[self._key_attrs[stream]]].append(tup)
 
     def _unindex_head(self, stream: str, head: StreamTuple) -> None:
@@ -546,7 +555,21 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
         states = self._states
         indexes = self._indexes
         key_attrs = self._key_attrs if indexes is not None else None
-        columnar = self.columnar and indexes is None
+        spilled = self.is_spilled()
+        columnar = self.columnar and indexes is None and not spilled
+        spill_attrs = self._spill_key_attrs() if spilled else None
+        # Streams whose in-core hash index is live.  Per stream, not per
+        # slice: a migration's load_state materializes one stream at a
+        # time, so a slice can be half-spilled between those calls.
+        indexed_streams = (
+            None
+            if indexes is None
+            else {
+                s
+                for s, st in states.items()
+                if not isinstance(st, SpilledState)
+            }
+        )
         column_attrs = self._column_attrs
         condition = self.condition
         all_match = condition.columnar_all_match
@@ -581,9 +604,11 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
                 base = item.base
                 stream = base.stream
                 if item.gender == FEMALE:
-                    # Insert: the female copy fills its own sliced state.
+                    # Insert: the female copy fills its own sliced state (a
+                    # spilled state buffers it in its resident tail; the
+                    # in-core hash index is not maintained while spilled).
                     states[stream].append(base)
-                    if indexes is not None:
+                    if indexed_streams is not None and stream in indexed_streams:
                         indexes[stream][base[key_attrs[stream]]].append(base)
                     continue
                 ref = item
@@ -610,7 +635,39 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
                 )
             state = states[opposite]
             ts = base.timestamp
-            if columnar:
+            if isinstance(state, SpilledState):
+                # Cold state: purge via the segments' timestamp columns
+                # (bit-identical cut decisions), probe via the per-segment
+                # key index (decoding only candidate rows), re-checking
+                # every candidate with the bound condition predicate.
+                purged, purge_comparisons = state.purge(ts, end)
+                purge_count += purge_comparisons
+                for head in purged:
+                    append(("next", ref_tuple(head, FEMALE)))
+                attribute = spill_attrs[stream]
+                probe_key = (
+                    base.values.get(attribute, _ABSENT)
+                    if attribute is not None
+                    else _ABSENT
+                )
+                candidates = state.probe(probe_key)
+                probe_count += len(candidates)
+                if candidates:
+                    if stream == left_stream:
+                        check = bind_left(base)
+                        for candidate in candidates:
+                            if enforce and not contains_offset(ts - candidate.timestamp):
+                                continue
+                            if check(candidate):
+                                append(("output", joined_tuple(base, candidate)))
+                    else:
+                        check = bind_right(base)
+                        for candidate in candidates:
+                            if enforce and not contains_offset(ts - candidate.timestamp):
+                                continue
+                            if check(candidate):
+                                append(("output", joined_tuple(candidate, base)))
+            elif columnar:
                 # Purge: binary search over the timestamp column; the
                 # comparison count reproduces the scan loop exactly (one per
                 # purged head, plus the failing check when tuples remain).
@@ -706,7 +763,7 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
                 # The female copy of a raw arrival fills its own state after
                 # the male finished, matching :meth:`_process_arrival`.
                 states[stream].append(base)
-                if indexes is not None:
+                if indexed_streams is not None and stream in indexed_streams:
                     indexes[stream][base[key_attrs[stream]]].append(base)
         self.metrics.record_invocation(name, len(batch))
         self.metrics.count(CostCategory.PURGE, purge_count)
@@ -741,6 +798,8 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
         opposite = self._opposite(ref.stream)
         state = self._states[opposite]
         emissions: list[Emission] = []
+        if isinstance(state, SpilledState):
+            return self._process_male_spilled(ref, state)
         # 1. Cross-purge the opposite sliced state with Wend.
         comparisons = 0
         while state:
@@ -772,6 +831,35 @@ class SlicedBinaryJoin(KeyedStateMixin, Operator):
             if self.condition.matches(left, right):
                 emissions.append(("output", JoinedTuple(left, right)))
         # 3. Propagate the male copy to the next join and punctuate the union.
+        emissions.append(("next", ref))
+        emissions.append(("punct", Punctuation(ref.timestamp, source=self.name)))
+        return emissions
+
+    def _process_male_spilled(
+        self, ref: RefTuple, state: SpilledState
+    ) -> list[Emission]:
+        """Per-tuple male path against a cold (spilled) opposite state."""
+        emissions: list[Emission] = []
+        purged, comparisons = state.purge(ref.timestamp, self.slice.end)
+        for head in purged:
+            emissions.append(("next", RefTuple(head, FEMALE)))
+        self.metrics.count(CostCategory.PURGE, comparisons)
+        attribute = self._spill_key_attrs()[ref.stream]
+        probe_key = (
+            ref.base.values.get(attribute, _ABSENT)
+            if attribute is not None
+            else _ABSENT
+        )
+        candidates = state.probe(probe_key)
+        self.metrics.count(CostCategory.PROBE, len(candidates))
+        for candidate in candidates:
+            if self.enforce_bounds and not self.slice.contains_offset(
+                ref.timestamp - candidate.timestamp
+            ):
+                continue
+            left, right = self._orient(ref.base, candidate)
+            if self.condition.matches(left, right):
+                emissions.append(("output", JoinedTuple(left, right)))
         emissions.append(("next", ref))
         emissions.append(("punct", Punctuation(ref.timestamp, source=self.name)))
         return emissions

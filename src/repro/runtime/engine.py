@@ -79,7 +79,7 @@ from typing import Iterable
 from repro.core.chain import SlicedJoinChain
 from repro.core.count_chain import CountSlicedJoinChain
 from repro.core.cpu_opt import build_cpu_opt_chain
-from repro.core.merge_graph import ChainCostParameters
+from repro.core.merge_graph import DEFAULT_COLD_PROBE_PENALTY, ChainCostParameters
 from repro.core.pushdown import residual_predicate
 from repro.core.statistics import (
     OBS_CHAIN_MATCHES,
@@ -89,6 +89,7 @@ from repro.core.statistics import (
 )
 from repro.engine.errors import MigrationError, QueryError
 from repro.engine.metrics import CostCategory, MetricsCollector
+from repro.engine.spill import SpillStore, estimate_tuple_bytes
 from repro.operators.sliced_join import resolve_probe
 from repro.query.predicates import JoinCondition, Predicate, TruePredicate
 from repro.query.query import ContinuousQuery, QueryWorkload
@@ -206,6 +207,16 @@ class StreamEngine:
         even without a policy, so callers can build
         :class:`~repro.core.statistics.StreamStatistics` estimates from
         snapshot diffs themselves.
+    memory_budget_bytes:
+        Optional in-core state budget.  After every batch the engine
+        estimates the resident footprint of the chain's join states; while
+        it exceeds the budget, cold slices (oldest first, never the head
+        slice) are spilled to an on-disk segment store
+        (:mod:`repro.engine.spill`).  Spilled slices keep answering
+        cross-purges and probes from disk, so results are byte-identical
+        to the unbudgeted session; migration and reshard boundaries
+        re-materialize them (``load_state`` is the single splice point).
+        ``None`` (default) keeps everything in core.
     """
 
     def __init__(
@@ -220,11 +231,18 @@ class StreamEngine:
         columnar: bool | str = "auto",
         policy=None,
         collect_statistics: bool = False,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         if window_kind not in ("time", "count"):
             raise QueryError(
                 f"window_kind must be 'time' or 'count', got {window_kind!r}"
             )
+        if memory_budget_bytes is not None:
+            memory_budget_bytes = int(memory_budget_bytes)
+            if memory_budget_bytes <= 0:
+                raise QueryError(
+                    f"memory_budget_bytes must be positive, got {memory_budget_bytes}"
+                )
         self.condition = condition
         self.left_stream = left_stream
         self.right_stream = right_stream
@@ -241,6 +259,10 @@ class StreamEngine:
         self._routing: list[list[_Route]] = []
         self.policy = None
         self._observing = bool(collect_statistics)
+        self.memory_budget_bytes = memory_budget_bytes
+        self._spill_store: SpillStore | None = None
+        self._tuple_bytes: int | None = None
+        self._spill_reported: dict[str, int] = {}
         if policy is not None:
             self.attach_policy(policy)
 
@@ -310,6 +332,15 @@ class StreamEngine:
         self._drain()
         delivered = self._results.pop(name)
         if not self._queries:
+            chain = self._chain
+            if chain is not None:
+                # The whole chain's state is being discarded; delete any
+                # segments its spilled slices held so they don't pile up in
+                # the store across teardown/re-admission cycles.
+                for join in chain.joins:
+                    release = getattr(join, "release_spill", None)
+                    if release is not None:
+                        release()
             self._chain = None
             self._routing = []
             self._record_migration("teardown", query.window)
@@ -480,7 +511,13 @@ class StreamEngine:
         if route_count:
             metrics.count(CostCategory.ROUTE, route_count)
         self.stats.results_delivered += delivered
-        metrics.sample_memory(batch[-1].timestamp, chain.state_size())
+        if self._tuple_bytes is None:
+            self._tuple_bytes = max(64, estimate_tuple_bytes(batch[0]))
+        resident, spilled = self._enforce_budget()
+        metrics.sample_memory(
+            batch[-1].timestamp, chain.state_size(), resident, spilled
+        )
+        self._report_spill_counters()
         if observing:
             self._observe_batch(
                 batch, left_arrivals, right_arrivals,
@@ -488,6 +525,96 @@ class StreamEngine:
             )
         if self.policy is not None:
             self.policy.on_batch(self, batch[-1].timestamp)
+
+    # -- tiered state (memory budget) -------------------------------------------
+    @property
+    def spill_store(self) -> SpillStore:
+        """The session's cold-tier segment store (created on first use)."""
+        if self._spill_store is None:
+            self._spill_store = SpillStore()
+        return self._spill_store
+
+    def memory_bytes(self) -> tuple[int, int]:
+        """``(resident, spilled)`` byte estimate of the chain's join states."""
+        if self._chain is None:
+            return 0, 0
+        return self._chain.memory_bytes(self._tuple_bytes or 256)
+
+    def _enforce_budget(self) -> tuple[int, int]:
+        """Spill cold slices until the resident estimate fits the budget.
+
+        Eviction is by slice age: the chain's tail slice holds the oldest
+        tuples, so slices spill tail-first.  The head slice never spills —
+        it absorbs every arrival, so its state is hot by construction; the
+        budget therefore carries one-slice slack.  Already-spilled slices
+        first flush their resident tail buffers (cheaper than spilling a
+        new slice), then unspilled cold slices go to disk oldest-first.
+        """
+        chain = self._chain
+        tuple_bytes = self._tuple_bytes or 256
+        assert chain is not None
+        resident, spilled = chain.memory_bytes(tuple_bytes)
+        budget = self.memory_budget_bytes
+        if budget is None or resident <= budget:
+            return resident, spilled
+        joins = chain.joins
+        for join in reversed(joins[1:]):
+            if not join.is_spilled():
+                continue
+            join.spill_flush()
+            resident, spilled = chain.memory_bytes(tuple_bytes)
+            if resident <= budget:
+                return resident, spilled
+        store = self.spill_store
+        for join in reversed(joins[1:]):
+            if join.is_spilled():
+                continue
+            join.spill(store)
+            join.spill_flush()
+            store.evictions += 1
+            resident, spilled = chain.memory_bytes(tuple_bytes)
+            if resident <= budget:
+                return resident, spilled
+        return resident, spilled
+
+    def _report_spill_counters(self) -> None:
+        """Publish the store's counter deltas as metric observations.
+
+        Observations are counters in the snapshot (diff/aggregate-safe), so
+        per-window estimates and sharded merges see monotone values.
+        """
+        store = self._spill_store
+        if store is None:
+            return
+        reported = self._spill_reported
+        metrics = self.metrics
+        for name, value in (
+            ("spill.segments", store.segments_written),
+            ("spill.evictions", store.evictions),
+            ("spill.cold_reads", store.cold_reads),
+        ):
+            delta = value - reported.get(name, 0)
+            if delta > 0:
+                metrics.observe(name, delta)
+                reported[name] = value
+
+    def close(self) -> None:
+        """Release the disk tier: segment files and the store directory.
+
+        End-of-session only — spilled slice state is discarded, not
+        re-materialized.  A retiring shard engine calls this after its
+        keyed state has been extracted (extraction materializes every
+        spilled slice back into core, so nothing is lost).
+        """
+        chain = self._chain
+        if chain is not None:
+            for join in chain.joins:
+                release = getattr(join, "release_spill", None)
+                if release is not None:
+                    release()
+        if self._spill_store is not None:
+            self._spill_store.close()
+            self._spill_store = None
 
     # -- statistics observation ------------------------------------------------
     def _observe_batch(
@@ -634,6 +761,19 @@ class StreamEngine:
             # a hash session probing one equi-key bucket per arrival must not
             # be rebalanced against the nested-loop cost model.
             params = replace(params, hash_probe=True)
+        if self.memory_budget_bytes is not None and params.memory_budget is None:
+            # Same discipline for the tier boundary: slices whose state the
+            # budget pushes to disk pay the cold-probe I/O penalty, so the
+            # CPU-Opt search prices merges across the boundary correctly.
+            params = replace(
+                params,
+                memory_budget=self.memory_budget_bytes / 1024.0,
+                cold_probe_penalty=(
+                    params.cold_probe_penalty
+                    if params.cold_probe_penalty > 0.0
+                    else DEFAULT_COLD_PROBE_PENALTY
+                ),
+            )
         workload = self.workload()
         target = [0.0] + build_cpu_opt_chain(
             workload, params, statistics=statistics
@@ -976,6 +1116,7 @@ class CountStreamEngine(StreamEngine):
         columnar: bool | str = "auto",
         policy=None,
         collect_statistics: bool = False,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         super().__init__(
             condition,
@@ -988,4 +1129,5 @@ class CountStreamEngine(StreamEngine):
             columnar=columnar,
             policy=policy,
             collect_statistics=collect_statistics,
+            memory_budget_bytes=memory_budget_bytes,
         )

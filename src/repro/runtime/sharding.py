@@ -115,6 +115,9 @@ class ShardConfig:
     columnar: bool | str = "auto"
     system_overhead: float = 0.0
     collect_statistics: bool = False
+    #: Per-shard in-core state budget (the session budget split over the
+    #: current shard count); re-derived by every :meth:`~ShardedStreamEngine.reshard`.
+    memory_budget_bytes: int | None = None
 
     def build(self) -> StreamEngine:
         """Construct one shard's :class:`StreamEngine` from this config."""
@@ -128,6 +131,7 @@ class ShardConfig:
             probe=self.probe,
             columnar=self.columnar,
             collect_statistics=self.collect_statistics,
+            memory_budget_bytes=self.memory_budget_bytes,
         )
 
 
@@ -139,13 +143,19 @@ def _export_engine(engine: StreamEngine, names: Sequence[str]) -> dict:
     apart between shard modes.
     """
     engine.flush()
-    return {
+    payload = {
         "boundaries": engine.boundaries,
         "state": engine.extract_keyed_state(),
         "results": {name: engine.pop_results(name) for name in names},
         "stats": engine.stats,
         "snapshot": engine.metrics.snapshot(),
     }
+    # The extraction above materialized every spilled slice back into core
+    # (the payload's state is plain tuples), so the retiring engine's disk
+    # tier holds nothing live — delete its segment store now rather than
+    # waiting for GC.
+    engine.close()
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -275,6 +285,7 @@ def _shard_worker(conn, config: ShardConfig, ring: SpscRing | None = None) -> No
             conn.send(("error", error))
         else:
             conn.send(("ok", result))
+    engine.close()  # delete this shard's spill segments before exiting
     conn.close()
     if ring is not None:
         ring.close()
@@ -337,6 +348,13 @@ class ShardedStreamEngine:
         How many times one shard's dead worker may be replaced before the
         session gives up (see :meth:`_respawn_shard` for what a replacement
         recovers).
+    memory_budget_bytes:
+        Optional *session-level* in-core state budget.  Split evenly over
+        the live shard count — each shard engine enforces
+        ``budget // shards`` (at least 1) by spilling its own cold slices
+        to disk, see :class:`StreamEngine`.  A :meth:`reshard` re-splits
+        the session budget under the new modulus, so growing the session
+        also grows nobody's total footprint.
     batch_size / window_kind / probe / columnar / system_overhead /
     collect_statistics:
         Forwarded to every shard's engine, see :class:`StreamEngine`.
@@ -358,6 +376,7 @@ class ShardedStreamEngine:
         on_unsupported: str = "raise",
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         max_respawns: int = 3,
+        memory_budget_bytes: int | None = None,
     ) -> None:
         if shards < 1:
             raise ShardingError(f"shard count must be at least 1, got {shards}")
@@ -399,6 +418,14 @@ class ShardedStreamEngine:
         self.batch_size = max(1, int(batch_size))
         self.ring_capacity = int(ring_capacity)
         self.max_respawns = int(max_respawns)
+        if memory_budget_bytes is not None:
+            memory_budget_bytes = int(memory_budget_bytes)
+            if memory_budget_bytes <= 0:
+                raise ShardingError(
+                    f"memory_budget_bytes must be positive, got {memory_budget_bytes}"
+                )
+        #: The session-level budget (per-shard splits live in :attr:`config`).
+        self.memory_budget_bytes = memory_budget_bytes
         self.config = ShardConfig(
             condition=condition,
             left_stream=left_stream,
@@ -409,6 +436,7 @@ class ShardedStreamEngine:
             columnar=columnar,
             system_overhead=system_overhead,
             collect_statistics=collect_statistics,
+            memory_budget_bytes=self._per_shard_budget(self.shards),
         )
         if isinstance(condition, EquiJoinCondition):
             # Kept even for one shard: a later reshard to N > 1 partitions
@@ -836,13 +864,34 @@ class ShardedStreamEngine:
         finally:
             self._respawn_guard = False
 
+    def _per_shard_budget(self, shards: int) -> int | None:
+        """Split the session budget evenly over ``shards`` engines.
+
+        The shards partition the key space, so their resident states are
+        disjoint and the per-shard budgets sum (up to rounding) to the
+        session budget the caller asked for.
+        """
+        total = self.memory_budget_bytes
+        if total is None:
+            return None
+        return max(1, total // max(1, shards))
+
+    @property
+    def per_shard_memory_budget(self) -> int | None:
+        """The budget each live shard engine currently enforces."""
+        return self.config.memory_budget_bytes
+
     def close(self) -> None:
-        """Shut the worker processes down (no-op for serial sessions)."""
-        if self._closed or self.shard_mode != "process":
-            self._closed = True
+        """Shut the session down: worker processes (process mode) or the
+        serial engines' disk tiers (segment stores of spilled slices)."""
+        if self._closed:
             return
         self._closed = True
-        self._stop_workers()
+        if self.shard_mode == "process":
+            self._stop_workers()
+            return
+        for engine in self.shard_engines:
+            engine.close()
 
     def __enter__(self) -> "ShardedStreamEngine":
         return self
@@ -1398,7 +1447,13 @@ class ShardedStreamEngine:
             if self._snapshot_base is not None:
                 snapshot_parts.insert(0, self._snapshot_base)
             snapshot_base = MetricsSnapshot.aggregate(snapshot_parts)
-            for gauge in ("memory.average", "memory.max"):
+            for gauge in (
+                "memory.average",
+                "memory.max",
+                "memory.resident_bytes",
+                "memory.spilled_bytes",
+                "memory.max_resident_bytes",
+            ):
                 snapshot_base.pop(gauge, None)
             self._snapshot_base = snapshot_base
             self._epoch = MetricsSnapshot({"time.last": stream_time})
@@ -1408,6 +1463,13 @@ class ShardedStreamEngine:
             # re-tunes it.
             self.shards = target
             self._shard_probes = None
+            # Re-split the session memory budget under the new modulus: the
+            # new generation's shards each enforce their own slice of it
+            # (the retiring generation's segment stores were deleted by the
+            # export — state crosses the cut materialized, never as files).
+            self.config = replace(
+                self.config, memory_budget_bytes=self._per_shard_budget(target)
+            )
             self._build_generation(boundaries, buckets)
             self.metrics.record_reshard(moved)
             self.metrics.observe_time(stream_time)

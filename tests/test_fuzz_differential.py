@@ -94,6 +94,12 @@ COUNT_WINDOWS = (2, 3, 5, 8, 12)
 THRESHOLDS = (0.15, 0.3, 0.5, 0.7, 0.85)
 BATCH_SIZES = (1, 2, 5, 16, 64)
 COLUMNAR_MODES = (False, True, "auto")
+#: Per-engine in-core state budgets: unbudgeted, tight (a few tuples stay
+#: resident — almost everything spills to the disk tier), and mid (spilling
+#: starts only when several windows' state piles up).  Every scenario draws
+#: one per engine, composing the spill path with admission/removal
+#: schedules, both probe algorithms, columnar batches and reshards.
+MEMORY_BUDGETS = (None, 2048, 32768)
 ARRIVALS = 110
 FOREVER = 10**9
 
@@ -233,6 +239,7 @@ def run_scenario(seed: int, window_kind: str) -> None:
     else:
         probe = rng.choice(("nested_loop", "auto"))
     batch_size = rng.choice(BATCH_SIZES)
+    memory_budget = rng.choice(MEMORY_BUDGETS)
 
     engine = StreamEngine(
         condition,
@@ -240,6 +247,7 @@ def run_scenario(seed: int, window_kind: str) -> None:
         window_kind=window_kind,
         probe=probe,
         columnar=rng.choice(COLUMNAR_MODES),
+        memory_budget_bytes=memory_budget,
     )
     engine.add_query(
         "umbrella",
@@ -286,7 +294,7 @@ def run_scenario(seed: int, window_kind: str) -> None:
     )
     label = (
         f"seed {seed} [{window_kind}] cond={condition.describe()} "
-        f"probe={probe} batch={batch_size}"
+        f"probe={probe} batch={batch_size} budget={memory_budget}"
     )
     for name, window, left_filter, right_filter, interval in specs:
         got = [(j.left.seqno, j.right.seqno) for j in delivered[name]]
@@ -330,6 +338,7 @@ def run_sharded_scenario(seed: int) -> None:
             batch_size=rng.choice(BATCH_SIZES),
             probe=rng.choice(("nested_loop", "hash", "auto")),
             columnar=rng.choice(COLUMNAR_MODES),
+            memory_budget_bytes=rng.choice(MEMORY_BUDGETS),
         ),
         "sharded": ShardedStreamEngine(
             condition,
@@ -338,6 +347,7 @@ def run_sharded_scenario(seed: int) -> None:
             batch_size=rng.choice(BATCH_SIZES),
             probe=rng.choice(("nested_loop", "hash", "auto")),
             columnar=rng.choice(COLUMNAR_MODES),
+            memory_budget_bytes=rng.choice(MEMORY_BUDGETS),
         ),
     }
     admissions: dict[int, list[int]] = {}
@@ -434,6 +444,7 @@ def run_resharded_scenario(seed: int) -> None:
             batch_size=rng.choice(BATCH_SIZES),
             probe=rng.choice(("nested_loop", "hash", "auto")),
             columnar=rng.choice(COLUMNAR_MODES),
+            memory_budget_bytes=rng.choice(MEMORY_BUDGETS),
         ),
         "resharded": ShardedStreamEngine(
             condition,
@@ -441,6 +452,7 @@ def run_resharded_scenario(seed: int) -> None:
             batch_size=rng.choice(BATCH_SIZES),
             probe=rng.choice(("nested_loop", "hash", "auto")),
             columnar=rng.choice(COLUMNAR_MODES),
+            memory_budget_bytes=rng.choice(MEMORY_BUDGETS),
         ),
     }
     admissions: dict[int, list[int]] = {}

@@ -548,3 +548,54 @@ def test_engine_set_boundaries_guard_rails():
     reference.flush()
     for name in ("Q", "R"):
         assert pairs(engine.results(name)) == pairs(reference.results(name))
+
+
+# ---------------------------------------------------------------------------
+# Memory-budgeted sessions: per-shard spill budgets across reshards
+# ---------------------------------------------------------------------------
+def test_reshard_resplits_the_spill_budget_and_deletes_retired_segments():
+    import os
+
+    tuples = make_stream(count=300)
+    single = StreamEngine(CONDITION, batch_size=8)
+    sharded = ShardedStreamEngine(
+        CONDITION, shards=2, batch_size=8, memory_budget_bytes=8192
+    )
+    assert sharded.per_shard_memory_budget == 8192 // 2
+    for engine in (single, sharded):
+        engine.add_query("Q", 2.0)
+        engine.add_query("R", 0.9)
+    retired_dirs: list[str] = []
+    for index, tup in enumerate(tuples):
+        if index == 120:
+            # Capture the retiring generation's segment stores, then grow:
+            # the session budget must be re-split under the new modulus.
+            retired_dirs = [
+                engine._spill_store.directory
+                for engine in sharded.shard_engines
+                if engine._spill_store is not None
+                and engine._spill_store.directory is not None
+            ]
+            sharded.reshard(4)
+            assert sharded.per_shard_memory_budget == 8192 // 4
+            assert [e.memory_budget_bytes for e in sharded.shard_engines] == (
+                [8192 // 4] * 4
+            )
+        if index == 220:
+            sharded.reshard(1)
+            # The degenerate single shard gets the whole session budget back.
+            assert sharded.per_shard_memory_budget == 8192
+        single.process(tup)
+        sharded.process(tup)
+    single.flush()
+    sharded.flush()
+    for name in ("Q", "R"):
+        assert pairs(sharded.results(name)) == pairs(single.results(name))
+    # The tight budget forced the first generation to spill, and the reshard
+    # deleted its segment directories at the export cut (state crosses the
+    # generation change materialized, never as segment files).
+    assert retired_dirs, "the 4096 B/shard budget should have forced spilling"
+    for directory in retired_dirs:
+        assert not os.path.exists(directory)
+    assert [e.memory_budget_bytes for e in sharded.shard_engines] == [8192]
+    sharded.close()
